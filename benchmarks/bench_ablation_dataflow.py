@@ -1,0 +1,45 @@
+"""Ablation: weight-stationary vs output-stationary dataflow cycle costs.
+
+DESIGN.md calls out the run-time-selectable dataflow as a template design
+choice (Table I "Dataflows: multiple").  WS avoids the OS drain phase when
+results stream to the accumulator; OS wins nothing on these dense shapes
+but is required for mappings that keep C resident.
+"""
+
+from benchmarks.conftest import once
+from repro.core.config import Dataflow, default_config
+from repro.core.spatial_array import SpatialArrayModel
+from repro.eval.report import format_table
+
+SHAPES = [
+    (64, 64, 64),
+    (256, 256, 256),
+    (1024, 256, 64),
+    (64, 1024, 1024),
+    (12544, 147, 64),   # ResNet50 stem as im2col matmul
+    (3136, 576, 64),    # ResNet50 stage-1 3x3
+]
+
+
+def test_ablation_dataflow(benchmark, emit):
+    model = SpatialArrayModel(default_config())
+
+    def run():
+        rows = []
+        for m, k, n in SHAPES:
+            ws = model.matmul_cost(m, k, n, Dataflow.WS).total
+            os_cost = model.matmul_cost(m, k, n, Dataflow.OS).total
+            rows.append((f"{m}x{k}x{n}", ws, os_cost, os_cost / ws))
+        return rows
+
+    rows = once(benchmark, run)
+    text = format_table(
+        ["shape (MxKxN)", "WS cycles", "OS cycles", "OS/WS"],
+        rows,
+        title="Ablation: dataflow cycle costs on the 16x16 array",
+    )
+    emit("ablation_dataflow", text)
+
+    for __, ws, os_cost, ratio in rows:
+        assert os_cost >= ws  # OS pays the drain on dense shapes
+        assert ratio < 3.0

@@ -1,0 +1,36 @@
+"""Figure 3: systolic vs vector spatial arrays (frequency / area / power).
+
+Paper anchors: 256-PE systolic 1.89 GHz / 120 kum^2; vector 0.69 GHz /
+67 kum^2; 2.7x frequency, 1.8x area, 3.0x power.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.eval.experiments import run_fig3
+from repro.eval.report import format_table
+
+
+def test_fig3_spatial_array_tradeoffs(benchmark, emit):
+    result = once(benchmark, run_fig3)
+
+    rows = [
+        (r.name, r.tile_shape, r.frequency_ghz, r.area_kum2, r.power_mw)
+        for r in result.rows
+    ]
+    text = format_table(
+        ["design", "tile", "freq (GHz)", "area (kum^2)", "power @500MHz (mW)"],
+        rows,
+        title="Figure 3: spatial array design points (256 PEs)",
+    )
+    text += (
+        f"\nratios systolic/vector: freq={result.freq_ratio:.2f}x"
+        f" (paper {result.paper_freq_ratio}x),"
+        f" area={result.area_ratio:.2f}x (paper {result.paper_area_ratio}x),"
+        f" power={result.power_ratio:.2f}x (paper {result.paper_power_ratio}x)"
+    )
+    emit("fig3_systolic_vs_vector", text)
+
+    assert result.freq_ratio == pytest.approx(result.paper_freq_ratio, rel=0.05)
+    assert result.area_ratio == pytest.approx(result.paper_area_ratio, rel=0.05)
+    assert result.power_ratio == pytest.approx(result.paper_power_ratio, rel=0.05)

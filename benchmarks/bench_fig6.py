@@ -1,0 +1,32 @@
+"""Figure 6: area breakdown of the accelerator with its host CPU.
+
+Paper (Intel 22FFL): spatial array 116k (11.3%), scratchpad 544k (52.9%),
+accumulator 146k (14.2%), Rocket CPU 171k (16.6%), total 1,029 kum^2.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.eval.experiments import run_fig6
+from repro.eval.report import format_table
+
+
+def test_fig6_area_breakdown(benchmark, emit):
+    result = once(benchmark, run_fig6)
+    breakdown = result.breakdown
+
+    rows = []
+    for name, um2, pct in breakdown.rows():
+        paper = result.paper_rows.get(name)
+        paper_txt = f"{paper[0] / 1000:.0f}k ({paper[1]}%)" if paper else "-"
+        rows.append((name, f"{um2 / 1000:.1f}k", f"{pct:.1f}%", paper_txt))
+    text = format_table(
+        ["component", "area", "share", "paper"],
+        rows,
+        title="Figure 6: area breakdown (16x16 array, 256KB SP, 64KB ACC, Rocket)",
+    )
+    text += f"\ntotal {breakdown.total / 1000:.0f}k um^2 (paper {result.paper_total / 1000:.0f}k)"
+    emit("fig6_area_breakdown", text)
+
+    assert breakdown.total == pytest.approx(result.paper_total, rel=0.02)
+    assert 100 * breakdown.fraction("scratchpad") == pytest.approx(52.9, abs=1.5)

@@ -1,0 +1,57 @@
+"""Figure 9: SoC memory partitioning, single- and dual-core ResNet50.
+
+Paper claims: single-core, moving 1 MB of extra SRAM into the scratchpad
+(BigSP) is the best use (convs gain ~10%, matmuls ~1%, resadds none);
+dual-core, the same SRAM is better spent on the shared L2 (BigL2: resadds
++22%, overall +8.0%, L2 miss rate -7.1pp) because each core's residual
+addition evicts the layer the other core is about to consume.
+"""
+
+from benchmarks.conftest import FAST, INPUT_HW, once
+from repro.eval.experiments import run_fig9
+from repro.eval.report import format_table
+
+
+def test_fig9_memory_partitioning(benchmark, emit):
+    result = once(benchmark, lambda: run_fig9(input_hw=INPUT_HW))
+
+    rows = []
+    for run in result.runs:
+        rows.append(
+            (
+                run.config_name,
+                run.cores,
+                f"{run.total_cycles / 1e6:.2f}M",
+                f"{result.speedup(run.config_name, run.cores):.3f}",
+                f"{result.speedup(run.config_name, run.cores, 'conv'):.3f}",
+                f"{result.speedup(run.config_name, run.cores, 'matmul'):.3f}",
+                f"{result.speedup(run.config_name, run.cores, 'resadd'):.3f}",
+                f"{run.l2_miss_rate:.3f}",
+            )
+        )
+    text = format_table(
+        ["config", "cores", "cycles", "overall", "conv", "matmul", "resadd", "L2 miss"],
+        rows,
+        title="Figure 9: performance normalized to Base (per core count)",
+    )
+    miss_drop = result.run("Base", 2).l2_miss_rate - result.run("BigL2", 2).l2_miss_rate
+    text += (
+        f"\ndual-core BigL2: overall {result.speedup('BigL2', 2):.3f} (paper 1.080), "
+        f"L2 miss -{100 * miss_drop:.1f}pp (paper -7.1pp); "
+        f"dual-core BigSP: {result.speedup('BigSP', 2):.3f} (paper 1.042)"
+    )
+    emit("fig9_memory_partitioning", text)
+
+    # Shape claims that must hold at full scale:
+    # 1. dual-core runs are slower than single-core (shared-resource contention)
+    for name in ("Base", "BigSP", "BigL2"):
+        assert result.run(name, 2).total_cycles > result.run(name, 1).total_cycles
+    # 2. dual-core: the extra SRAM is better spent on the shared L2.
+    # (Only asserted at full scale: at reduced resolution the residual
+    # tensors fit even the 1 MB L2, so the BigL2 advantage vanishes.)
+    if not FAST:
+        assert result.speedup("BigL2", 2) >= result.speedup("BigSP", 2) - 0.01
+    # 3. BigL2 cuts the dual-core L2 miss rate (paper: -7.1pp)
+    assert miss_drop > 0.03
+    # 4. matmul layers benefit from the larger scratchpad
+    assert result.speedup("BigSP", 2, "matmul") > 1.0

@@ -1,0 +1,19 @@
+"""Table I: the DNN accelerator generator comparison matrix.
+
+Regenerates the feature matrix and verifies the Gemmini column against the
+implemented template (every 'yes' is backed by code in this repository).
+"""
+
+from benchmarks.conftest import once
+from repro.eval.tables import TABLE_I, format_table_i, gemmini_column_from_code
+
+
+def test_table1(benchmark, emit):
+    def run():
+        derived = gemmini_column_from_code()
+        for prop, value in derived.items():
+            assert TABLE_I[prop]["Gemmini"] == value
+        return format_table_i()
+
+    text = once(benchmark, run)
+    emit("table1", text)

@@ -1,0 +1,50 @@
+"""Shared benchmark configuration.
+
+Every paper artifact gets one pytest-benchmark entry that executes the
+corresponding experiment runner once (``rounds=1`` — these are multi-second
+simulations, not microbenchmarks) and emits the regenerated table/series to
+``benchmark_results/<name>.txt`` as well as stdout.
+
+Set ``REPRO_FAST=1`` to run the DNN-level experiments at reduced input
+resolution (96px CNNs / seq-32 BERT) for quick iteration; the default
+reproduces the paper's full problem sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+FAST = bool(int(os.environ.get("REPRO_FAST", "0")))
+
+#: CNN input resolution and BERT sequence length used by the DNN benches.
+INPUT_HW = 96 if FAST else 224
+BERT_SEQ = 32 if FAST else 128
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Write a rendered artifact to benchmark_results/ and stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run a whole-experiment benchmark exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Virtual-memory co-design: reproduce the Section V-A methodology.
+
+Sweeps private TLB sizes with and without the read/write filter registers
+on a CNN inference, printing normalized performance and hit rates — the
+workflow that led the paper to a 4-entry private TLB + filter registers
+reaching within 2% of peak performance.
+"""
+
+import argparse
+
+from repro.core.config import edge_config
+from repro.core.generator import SoftwareParams
+from repro.eval.report import format_table
+from repro.models import build_squeezenet
+from repro.soc.soc import make_soc
+from repro.sw.compiler import compile_graph
+from repro.sw.runtime import Runtime
+
+
+def measure(private_entries: int, filters: bool, graph):
+    config = edge_config(
+        private_tlb_entries=private_entries,
+        shared_tlb_entries=0,
+        filter_registers=filters,
+    ).with_im2col(True)
+    soc = make_soc(gemmini=config)
+    model = compile_graph(graph, SoftwareParams.from_config(config))
+    result = Runtime(soc.tile, model).run()
+    xlat = soc.tile.accel.xlat
+    return result.total_cycles, xlat
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--input-hw", type=int, default=128)
+    args = parser.parse_args()
+    graph = build_squeezenet(input_hw=args.input_hw)
+
+    records = []
+    for filters in (False, True):
+        for private in (2, 4, 8, 16, 32):
+            cycles, xlat = measure(private, filters, graph)
+            records.append(
+                {
+                    "filters": filters,
+                    "private": private,
+                    "cycles": cycles,
+                    "hit": xlat.hit_rate_including_filters(),
+                    "read_locality": xlat.consecutive_same_page_fraction(False),
+                    "write_locality": xlat.consecutive_same_page_fraction(True),
+                }
+            )
+    best = min(r["cycles"] for r in records)
+    rows = [
+        (
+            "yes" if r["filters"] else "no",
+            r["private"],
+            f"{best / r['cycles']:.3f}",
+            f"{r['hit']:.3f}",
+        )
+        for r in records
+    ]
+    print(
+        format_table(
+            ["filter regs", "private TLB", "norm perf", "hit rate"],
+            rows,
+            title=f"TLB co-design sweep (SqueezeNet @{args.input_hw}px)",
+        )
+    )
+    sample = records[-1]
+    print(
+        f"\npage locality: {sample['read_locality']:.0%} of consecutive reads and "
+        f"{sample['write_locality']:.0%} of consecutive writes hit the same page"
+        "\n(paper: 87% / 83%) — which is why two filter registers make a"
+        "\n4-entry private TLB nearly free."
+    )
+
+
+if __name__ == "__main__":
+    main()

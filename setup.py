@@ -1,0 +1,6 @@
+"""Legacy setup shim (the offline environment's pip lacks the `wheel`
+package PEP 517 editable installs need; metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

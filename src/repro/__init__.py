@@ -1,0 +1,23 @@
+"""repro: a full-stack Python reproduction of the Gemmini DNN accelerator
+generator and its SoC-level evaluation (DAC 2021).
+
+The public API mirrors the paper's stack:
+
+* :mod:`repro.core` — the accelerator generator (architectural template,
+  ISA, spatial array, local memories, DMA, controller).
+* :mod:`repro.mem` — shared SoC memory substrate (L2, DRAM, bus, TLBs,
+  page tables).
+* :mod:`repro.soc` — host CPU models, OS model, and full-SoC integration.
+* :mod:`repro.sw` — the multi-level software stack (low-level intrinsics,
+  tiled kernels, ONNX-subset graph flow, runtime).
+* :mod:`repro.models` — the five evaluated DNNs as exact layer-shape graphs.
+* :mod:`repro.physical` — area/timing/power models calibrated to the
+  paper's synthesis results.
+* :mod:`repro.eval` — one experiment runner per paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import GemminiConfig, default_config, generate
+
+__all__ = ["GemminiConfig", "default_config", "generate", "__version__"]

@@ -1,0 +1,184 @@
+"""Command-line interface: the generator and evaluator as a tool.
+
+Exposes the common workflows without writing Python:
+
+``gemmini-repro generate``
+    Run the generator and print the ``gemmini_params.h`` header.
+``gemmini-repro run MODEL``
+    Compile and execute a zoo model on a full SoC; print the performance,
+    energy and memory-system report.
+``gemmini-repro area``
+    Figure 6-style area breakdown for a configuration.
+``gemmini-repro models``
+    List the model zoo.
+``gemmini-repro table1``
+    Print the generator comparison matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.core.config import default_config
+from repro.core.generator import SoftwareParams, generate
+from repro.eval.report import format_table
+from repro.eval.tables import format_table_i
+from repro.models import build_model, model_names
+from repro.physical.area import accelerator_area
+from repro.physical.energy import estimate_run_energy
+from repro.physical.timing import max_frequency_ghz
+from repro.soc.soc import make_soc
+from repro.sw.compiler import compile_graph
+from repro.sw.cpu_reference import cpu_graph_cycles
+from repro.sw.runtime import Runtime
+
+
+def _config_from_args(args) -> "GemminiConfig":
+    config = default_config()
+    config = replace(
+        config,
+        mesh_rows=args.dim // config.tile_rows,
+        mesh_cols=args.dim // config.tile_cols,
+        sp_capacity_bytes=args.sp_kb * 1024,
+        acc_capacity_bytes=args.acc_kb * 1024,
+        has_im2col=not args.no_im2col,
+    )
+    return config
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dim", type=int, default=16, help="PE grid dimension")
+    parser.add_argument("--sp-kb", type=int, default=256, help="scratchpad KB")
+    parser.add_argument("--acc-kb", type=int, default=64, help="accumulator KB")
+    parser.add_argument(
+        "--no-im2col", action="store_true", help="omit the on-the-fly im2col block"
+    )
+
+
+def cmd_generate(args) -> int:
+    config = _config_from_args(args)
+    generated = generate(config)
+    print(generated.header)
+    return 0
+
+
+def cmd_models(args) -> int:
+    for name in model_names():
+        graph = build_model(name) if name != "bert" else build_model(name, seq=128)
+        print(
+            f"{name:12s} {graph.total_macs() / 1e9:6.2f} GMACs  "
+            f"{graph.total_weight_bytes() / 1e6:6.1f} MB weights  "
+            f"{len(graph.nodes)} nodes"
+        )
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _config_from_args(args)
+    kwargs = {"seq": args.seq} if args.model == "bert" else {"input_hw": args.input_hw}
+    graph = build_model(args.model, **kwargs)
+    soc = make_soc(gemmini=config, cpu=args.cpu)
+    model = compile_graph(graph, SoftwareParams.from_config(config))
+    result = Runtime(soc.tile, model).run()
+
+    print(f"model: {args.model} ({graph.total_macs() / 1e9:.2f} GMACs)")
+    print(f"config: {config.describe()}")
+    print(
+        f"cycles: {result.total_cycles / 1e6:.2f}M -> "
+        f"{result.fps(config.clock_ghz):.2f} inf/s at {config.clock_ghz} GHz"
+    )
+    rows = sorted(result.cycles_by_kind().items(), key=lambda kv: -kv[1])
+    print(
+        format_table(
+            ["layer kind", "Mcycles", "share"],
+            [
+                (kind, f"{c / 1e6:.2f}", f"{100 * c / result.total_cycles:.1f}%")
+                for kind, c in rows
+            ],
+        )
+    )
+    if args.baseline:
+        baseline = cpu_graph_cycles(graph, soc.tile.cpu)
+        print(f"speedup vs {soc.tile.cpu.name} baseline: {baseline / result.total_cycles:,.0f}x")
+    energy = estimate_run_energy(soc, result)
+    print(
+        f"energy: {energy.total_mj:.2f} mJ/inference "
+        f"({energy.tops_per_watt(config.clock_ghz):.2f} TOPS/W)"
+    )
+    print(
+        f"memory: L2 miss {soc.mem.l2.miss_rate():.1%}, "
+        f"DRAM {soc.mem.dram.bytes_moved / 1e6:.1f} MB, "
+        f"TLB private hit {soc.tile.accel.xlat.hit_rate_including_filters():.1%}"
+    )
+    return 0
+
+
+def cmd_area(args) -> int:
+    config = _config_from_args(args)
+    breakdown = accelerator_area(config, cpu=args.cpu)
+    print(
+        format_table(
+            ["component", "area (um^2)", "share"],
+            [
+                (name, f"{um2:,.0f}", f"{pct:.1f}%")
+                for name, um2, pct in breakdown.rows()
+            ],
+            title=config.describe(),
+        )
+    )
+    print(f"total: {breakdown.total:,.0f} um^2")
+    print(f"fmax: {max_frequency_ghz(config):.2f} GHz")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    print(format_table_i())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gemmini-repro",
+        description="Gemmini reproduction: generate and evaluate DNN accelerators.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser("generate", help="emit the params header")
+    _add_config_args(p_generate)
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_models = sub.add_parser("models", help="list the model zoo")
+    p_models.set_defaults(func=cmd_models)
+
+    p_run = sub.add_parser("run", help="run a model on a full SoC")
+    p_run.add_argument("model", choices=model_names())
+    _add_config_args(p_run)
+    p_run.add_argument("--input-hw", type=int, default=224, help="CNN input size")
+    p_run.add_argument("--seq", type=int, default=128, help="BERT sequence length")
+    p_run.add_argument("--cpu", choices=("rocket", "boom"), default="rocket")
+    p_run.add_argument(
+        "--baseline", action="store_true", help="also compute the CPU-only baseline"
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_area = sub.add_parser("area", help="area breakdown (Figure 6 style)")
+    _add_config_args(p_area)
+    p_area.add_argument("--cpu", choices=("rocket", "boom", "none"), default="rocket")
+    p_area.set_defaults(func=cmd_area)
+
+    p_table1 = sub.add_parser("table1", help="print the Table I matrix")
+    p_table1.set_defaults(func=cmd_table1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

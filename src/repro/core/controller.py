@@ -1,0 +1,224 @@
+"""The decoupled controller: dependency management plus execution units.
+
+Gemmini's controller (Figure 1, "Dependency Mgmt") dispatches RoCC commands
+to three decoupled units — load (MVIN), execute (PRELOAD/COMPUTE) and store
+(MVOUT) — and an ROB-style scoreboard stalls commands until their operands'
+regions are free of hazards.  The same structure is used here at both
+instruction and macro-tile granularity: an :class:`Op` names the unit it
+occupies, the region tokens it reads and writes, and how long (or how) it
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from repro.sim.stats import StatsRegistry
+from repro.sim.timeline import Timeline
+
+Token = Hashable
+
+
+class Scoreboard:
+    """Region-token scoreboard enforcing RAW/WAR/WAW ordering.
+
+    Tokens are arbitrary hashables: ``("sp", row)`` at instruction
+    granularity, buffer names like ``("buf", "A0")`` at macro granularity.
+    """
+
+    def __init__(self) -> None:
+        self._last_read_end: dict[Token, float] = {}
+        self._last_write_end: dict[Token, float] = {}
+
+    def earliest_start(self, reads: Iterable[Token], writes: Iterable[Token]) -> float:
+        """The earliest time an op with these sets may begin."""
+        start = 0.0
+        writes_seen = self._last_write_end
+        reads_seen = self._last_read_end
+        for token in reads:  # RAW: wait for writers
+            t = writes_seen.get(token)
+            if t is not None and t > start:
+                start = t
+        for token in writes:  # WAW + WAR: wait for writers and readers
+            t = writes_seen.get(token)
+            if t is not None and t > start:
+                start = t
+            t = reads_seen.get(token)
+            if t is not None and t > start:
+                start = t
+        return start
+
+    def commit(
+        self,
+        reads: Iterable[Token],
+        writes: Iterable[Token],
+        read_end: float,
+        write_end: float | None = None,
+    ) -> None:
+        """Record that an op used these regions (writes may land later)."""
+        if write_end is None:
+            write_end = read_end
+        reads_seen = self._last_read_end
+        writes_seen = self._last_write_end
+        for token in reads:
+            if reads_seen.get(token, -1.0) < read_end:
+                reads_seen[token] = read_end
+        for token in writes:
+            if writes_seen.get(token, -1.0) < write_end:
+                writes_seen[token] = write_end
+
+    def reset(self) -> None:
+        self._last_read_end.clear()
+        self._last_write_end.clear()
+
+
+UNITS = ("load", "exec", "store")
+
+
+@dataclass
+class Op:
+    """One unit of work for the controller.
+
+    Exactly one of ``cycles`` or ``run`` must be provided.  ``run`` is called
+    with the op's start time and must return its end time (used for DMA ops,
+    which book shared memory resources themselves).  ``barrier`` ops (FENCE)
+    wait for all previously issued work.
+    """
+
+    unit: str
+    cycles: float | None = None
+    run: Callable[[float], float] | None = None
+    reads: tuple[Token, ...] = ()
+    writes: tuple[Token, ...] = ()
+    barrier: bool = False
+    label: str = ""
+    #: Extra cycles after the unit frees before results become visible
+    #: (models the spatial array's pipeline drain into the accumulator).
+    write_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.barrier:
+            if self.unit not in UNITS:
+                raise ValueError(f"unknown unit {self.unit!r}")
+            if (self.cycles is None) == (self.run is None):
+                raise ValueError("exactly one of cycles/run must be set")
+
+
+@dataclass
+class ExecutionResult:
+    """Completion summary of one op sequence."""
+
+    end_time: float
+    ops_executed: int
+    unit_busy: dict[str, float] = field(default_factory=dict)
+
+
+class Controller:
+    """In-order dispatch, per-unit in-order execution, ROB-bounded overlap."""
+
+    def __init__(self, rob_entries: int = 16, dispatch_cycles: float = 1.0) -> None:
+        if rob_entries < 1:
+            raise ValueError("rob_entries must be >= 1")
+        self.rob_entries = rob_entries
+        self.dispatch_cycles = dispatch_cycles
+        self.units = {name: Timeline(name) for name in UNITS}
+        self.scoreboard = Scoreboard()
+        self.stats = StatsRegistry(owner="controller")
+        self._inflight_ends: list[float] = []
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, ops: Iterable[Op], start_time: float = 0.0) -> ExecutionResult:
+        """Run ``ops`` in program order; returns the completion summary."""
+        if start_time > self._clock:
+            self._clock = start_time
+        count = 0
+        last_end = self._clock
+        for op in ops:
+            last_end = max(last_end, self.issue(op))
+            count += 1
+        self.stats.counter("ops").add(count)
+        return ExecutionResult(
+            end_time=last_end,
+            ops_executed=count,
+            unit_busy={name: unit.busy_time for name, unit in self.units.items()},
+        )
+
+    def issue(self, op: Op) -> float:
+        """Dispatch a single op; returns its completion time.
+
+        Public so multi-core runtimes can interleave op issue across cores in
+        global time order (see :func:`repro.sim.engine.lockstep_merge`).
+        """
+        return self._issue(op)
+
+    def drain(self) -> float:
+        """Wait for all in-flight ops; returns the drain completion time."""
+        end = max(self._inflight_ends, default=self._clock)
+        self._inflight_ends.clear()
+        self._clock = max(self._clock, end)
+        return self._clock
+
+    def advance_to(self, time: float) -> float:
+        """Move the dispatch clock forward (models host-CPU busy time)."""
+        if time > self._clock:
+            self._clock = time
+        return self._clock
+
+    # ------------------------------------------------------------------ #
+
+    def _issue(self, op: Op) -> float:
+        # Front-end dispatch: one op per dispatch_cycles.
+        self._clock += self.dispatch_cycles
+
+        if op.barrier:
+            return self._barrier()
+
+        # ROB backpressure: dispatch stalls while the ROB is full.
+        if len(self._inflight_ends) >= self.rob_entries:
+            self._inflight_ends.sort()
+            freed_at = self._inflight_ends[-self.rob_entries]
+            if freed_at > self._clock:
+                self._clock = freed_at
+
+        earliest = max(self._clock, self.scoreboard.earliest_start(op.reads, op.writes))
+        unit = self.units[op.unit]
+        if op.run is not None:
+            start = unit.peek(earliest)
+            end = op.run(start)
+            if end < start:
+                raise ValueError(f"op {op.label!r} returned end {end} < start {start}")
+            unit.book(earliest, end - start)
+        else:
+            __, end = unit.book(earliest, op.cycles)
+        commit_end = end + op.write_latency
+        self.scoreboard.commit(op.reads, op.writes, end, commit_end)
+        end = commit_end
+        self._inflight_ends.append(end)
+        if len(self._inflight_ends) > 4 * self.rob_entries:
+            # Keep only entries that can still constrain dispatch.
+            self._inflight_ends.sort()
+            del self._inflight_ends[: -2 * self.rob_entries]
+        return end
+
+    def _barrier(self) -> float:
+        end = max(self._inflight_ends, default=self._clock)
+        self._inflight_ends.clear()
+        self._clock = max(self._clock, end)
+        return self._clock
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def reset(self) -> None:
+        for unit in self.units.values():
+            unit.reset()
+        self.scoreboard.reset()
+        self.stats.reset()
+        self._inflight_ends.clear()
+        self._clock = 0.0

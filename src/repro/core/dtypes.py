@@ -1,0 +1,85 @@
+"""Element datatypes supported by the architectural template.
+
+The paper differentiates Gemmini from prior generators by supporting *both*
+floating- and fixed-point datatypes (Table I).  Each :class:`DType` couples a
+NumPy storage dtype with saturation bounds so functional models can implement
+hardware-accurate saturating arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A hardware element type."""
+
+    name: str
+    bits: int
+    np_dtype: np.dtype
+    is_float: bool
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def min_value(self) -> float:
+        if self.is_float:
+            return float(np.finfo(self.np_dtype).min)
+        return float(np.iinfo(self.np_dtype).min)
+
+    @property
+    def max_value(self) -> float:
+        if self.is_float:
+            return float(np.finfo(self.np_dtype).max)
+        return float(np.iinfo(self.np_dtype).max)
+
+    def saturate(self, values: np.ndarray) -> np.ndarray:
+        """Clamp ``values`` into this type's range and cast (hardware cast)."""
+        if self.is_float:
+            return values.astype(self.np_dtype)
+        clipped = np.clip(values, self.min_value, self.max_value)
+        return np.rint(clipped).astype(self.np_dtype)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT8 = DType("int8", 8, np.dtype(np.int8), False)
+INT16 = DType("int16", 16, np.dtype(np.int16), False)
+INT32 = DType("int32", 32, np.dtype(np.int32), False)
+FP32 = DType("fp32", 32, np.dtype(np.float32), True)
+# BF16 storage is emulated with float32 arithmetic; only the storage *width*
+# (2 bytes) differs, which is what the area and bandwidth models consume.
+BF16 = DType("bf16", 16, np.dtype(np.float32), True)
+
+BY_NAME = {t.name: t for t in (INT8, INT16, INT32, FP32, BF16)}
+
+
+def dtype_by_name(name: str) -> DType:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown dtype {name!r}; known: {sorted(BY_NAME)}") from None
+
+
+def rounding_right_shift(values: np.ndarray, shift: int) -> np.ndarray:
+    """Round-to-nearest-even right shift, as Gemmini's output scaling does.
+
+    Operates on integer arrays; ``shift == 0`` is the identity.
+    """
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    if shift == 0:
+        return values
+    values = values.astype(np.int64)
+    half = np.int64(1) << (shift - 1)
+    mask = (np.int64(1) << shift) - 1
+    quotient = values >> shift
+    remainder = values & mask
+    round_up = (remainder > half) | ((remainder == half) & ((quotient & 1) == 1))
+    return quotient + round_up.astype(np.int64)

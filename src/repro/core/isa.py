@@ -1,0 +1,374 @@
+"""The RoCC custom-instruction ISA of generated accelerators.
+
+Gemmini accelerators are driven by RISC-V custom instructions carrying two
+64-bit operands (``rs1``/``rs2``) plus a 7-bit funct.  This module defines
+the bit-exact encodings used by this reproduction (mirroring ``gemmini.h``),
+an :class:`Instruction` container, and decode helpers.  Encode/decode are
+exact inverses — property-tested in ``tests/core/test_isa.py``.
+
+Local addresses (scratchpad/accumulator rows) are 32-bit values:
+
+===========  ==========================================================
+bit 31       target is the accumulator (else scratchpad)
+bit 30       accumulate into existing accumulator contents (writes)
+bit 29       read back full accumulator width (reads)
+bits 28..0   row index
+===========  ==========================================================
+
+``GARBAGE_ADDR`` (all ones) means "no operand": zeros are fed in place of a
+read and results of a write are dropped.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+GARBAGE_ADDR = 0xFFFF_FFFF
+
+_ACC_BIT = 1 << 31
+_ACCUMULATE_BIT = 1 << 30
+_FULL_BIT = 1 << 29
+_ROW_MASK = (1 << 29) - 1
+
+
+class Funct(IntEnum):
+    """RoCC funct7 values (subset of the Gemmini ISA)."""
+
+    CONFIG = 0
+    MVIN2 = 1
+    MVIN = 2
+    MVOUT = 3
+    COMPUTE_PRELOADED = 4
+    COMPUTE_ACCUMULATE = 5
+    PRELOAD = 6
+    FLUSH = 7
+    FENCE = 127  # pseudo-instruction: drain all queues
+
+
+class ConfigTarget(IntEnum):
+    """rs1[1:0] of CONFIG instructions."""
+
+    EX = 0
+    LD = 1
+    ST = 2
+
+
+# ---------------------------------------------------------------------- #
+# Local addresses                                                          #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LocalAddr:
+    """A decoded scratchpad/accumulator row address."""
+
+    row: int
+    is_acc: bool = False
+    accumulate: bool = False
+    read_full: bool = False
+    garbage: bool = False
+
+    def encode(self) -> int:
+        if self.garbage:
+            return GARBAGE_ADDR
+        if not 0 <= self.row <= _ROW_MASK:
+            raise ValueError(f"row {self.row} out of range")
+        value = self.row
+        if self.is_acc:
+            value |= _ACC_BIT
+        if self.accumulate:
+            value |= _ACCUMULATE_BIT
+        if self.read_full:
+            value |= _FULL_BIT
+        return value
+
+    @staticmethod
+    def decode(value: int) -> "LocalAddr":
+        value &= MASK32
+        if value == GARBAGE_ADDR:
+            return LocalAddr(row=0, garbage=True)
+        return LocalAddr(
+            row=value & _ROW_MASK,
+            is_acc=bool(value & _ACC_BIT),
+            accumulate=bool(value & _ACCUMULATE_BIT),
+            read_full=bool(value & _FULL_BIT),
+        )
+
+    @staticmethod
+    def sp(row: int) -> "LocalAddr":
+        return LocalAddr(row=row)
+
+    @staticmethod
+    def acc(row: int, accumulate: bool = False, read_full: bool = False) -> "LocalAddr":
+        return LocalAddr(row=row, is_acc=True, accumulate=accumulate, read_full=read_full)
+
+    @staticmethod
+    def garbage_addr() -> "LocalAddr":
+        return LocalAddr(row=0, garbage=True)
+
+
+# ---------------------------------------------------------------------- #
+# Instructions                                                             #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One RoCC instruction: funct + two 64-bit source operands."""
+
+    funct: Funct
+    rs1: int = 0
+    rs2: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rs1", self.rs1 & MASK64)
+        object.__setattr__(self, "rs2", self.rs2 & MASK64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instruction({self.funct.name}, rs1=0x{self.rs1:016x}, rs2=0x{self.rs2:016x})"
+
+
+def _pack_addr_dims(addr: int, cols: int, rows: int) -> int:
+    if not 0 <= cols < (1 << 16) or not 0 <= rows < (1 << 16):
+        raise ValueError(f"cols/rows out of 16-bit range: {cols}, {rows}")
+    return (addr & MASK32) | (cols << 32) | (rows << 48)
+
+
+def _unpack_addr_dims(value: int) -> tuple[int, int, int]:
+    return value & MASK32, (value >> 32) & 0xFFFF, (value >> 48) & 0xFFFF
+
+
+def _float_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+
+
+# -- builders ----------------------------------------------------------- #
+
+
+def mvin(dram_vaddr: int, local: LocalAddr, cols: int, rows: int) -> Instruction:
+    """Move ``rows`` x ``cols`` elements DRAM -> scratchpad/accumulator."""
+    return Instruction(Funct.MVIN, dram_vaddr, _pack_addr_dims(local.encode(), cols, rows))
+
+
+def mvout(dram_vaddr: int, local: LocalAddr, cols: int, rows: int) -> Instruction:
+    """Move ``rows`` x ``cols`` elements scratchpad/accumulator -> DRAM."""
+    return Instruction(Funct.MVOUT, dram_vaddr, _pack_addr_dims(local.encode(), cols, rows))
+
+
+def preload(
+    b: LocalAddr, c: LocalAddr, b_cols: int, b_rows: int, c_cols: int, c_rows: int
+) -> Instruction:
+    return Instruction(
+        Funct.PRELOAD,
+        _pack_addr_dims(b.encode(), b_cols, b_rows),
+        _pack_addr_dims(c.encode(), c_cols, c_rows),
+    )
+
+
+def compute_preloaded(
+    a: LocalAddr, bd: LocalAddr, a_cols: int, a_rows: int, bd_cols: int, bd_rows: int
+) -> Instruction:
+    return Instruction(
+        Funct.COMPUTE_PRELOADED,
+        _pack_addr_dims(a.encode(), a_cols, a_rows),
+        _pack_addr_dims(bd.encode(), bd_cols, bd_rows),
+    )
+
+
+def compute_accumulate(
+    a: LocalAddr, bd: LocalAddr, a_cols: int, a_rows: int, bd_cols: int, bd_rows: int
+) -> Instruction:
+    return Instruction(
+        Funct.COMPUTE_ACCUMULATE,
+        _pack_addr_dims(a.encode(), a_cols, a_rows),
+        _pack_addr_dims(bd.encode(), bd_cols, bd_rows),
+    )
+
+
+def config_ex(
+    dataflow_ws: bool,
+    activation: int = 0,
+    in_shift: int = 0,
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+    acc_scale: float = 1.0,
+) -> Instruction:
+    if not 0 <= activation <= 3:
+        raise ValueError("activation field is 2 bits")
+    if not 0 <= in_shift < (1 << 16):
+        raise ValueError("in_shift field is 16 bits")
+    rs1 = int(ConfigTarget.EX)
+    rs1 |= (1 << 2) if dataflow_ws else 0
+    rs1 |= activation << 3
+    rs1 |= (1 << 5) if transpose_a else 0
+    rs1 |= (1 << 6) if transpose_b else 0
+    rs1 |= in_shift << 16
+    rs2 = _float_bits(acc_scale)
+    return Instruction(Funct.CONFIG, rs1, rs2)
+
+
+def config_ld(stride_bytes: int, scale: float = 1.0, shrink: bool = False) -> Instruction:
+    rs1 = int(ConfigTarget.LD)
+    rs1 |= (1 << 2) if shrink else 0
+    rs1 |= _float_bits(scale) << 32
+    return Instruction(Funct.CONFIG, rs1, stride_bytes)
+
+
+def config_st(
+    stride_bytes: int,
+    pool_size: int = 0,
+    pool_stride: int = 0,
+    pool_out_cols: int = 0,
+) -> Instruction:
+    if not 0 <= pool_size <= 3 or not 0 <= pool_stride <= 3:
+        raise ValueError("pool_size/pool_stride fields are 2 bits")
+    if not 0 <= pool_out_cols < (1 << 8):
+        raise ValueError("pool_out_cols field is 8 bits")
+    rs1 = int(ConfigTarget.ST)
+    rs1 |= pool_size << 2
+    rs1 |= pool_stride << 4
+    rs1 |= pool_out_cols << 6
+    return Instruction(Funct.CONFIG, rs1, stride_bytes)
+
+
+def flush() -> Instruction:
+    return Instruction(Funct.FLUSH)
+
+
+def fence() -> Instruction:
+    return Instruction(Funct.FENCE)
+
+
+# -- decoded views -------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class DecodedMove:
+    dram_vaddr: int
+    local: LocalAddr
+    cols: int
+    rows: int
+
+
+@dataclass(frozen=True)
+class DecodedCompute:
+    a: LocalAddr
+    bd: LocalAddr
+    a_cols: int
+    a_rows: int
+    bd_cols: int
+    bd_rows: int
+
+
+@dataclass(frozen=True)
+class DecodedPreload:
+    b: LocalAddr
+    c: LocalAddr
+    b_cols: int
+    b_rows: int
+    c_cols: int
+    c_rows: int
+
+
+@dataclass(frozen=True)
+class DecodedConfigEx:
+    dataflow_ws: bool
+    activation: int
+    in_shift: int
+    transpose_a: bool
+    transpose_b: bool
+    acc_scale: float
+
+
+@dataclass(frozen=True)
+class DecodedConfigLd:
+    stride_bytes: int
+    scale: float
+    shrink: bool
+
+
+@dataclass(frozen=True)
+class DecodedConfigSt:
+    stride_bytes: int
+    pool_size: int
+    pool_stride: int
+    pool_out_cols: int
+
+
+def decode_move(inst: Instruction) -> DecodedMove:
+    if inst.funct not in (Funct.MVIN, Funct.MVIN2, Funct.MVOUT):
+        raise ValueError(f"not a move instruction: {inst.funct}")
+    addr, cols, rows = _unpack_addr_dims(inst.rs2)
+    return DecodedMove(inst.rs1, LocalAddr.decode(addr), cols, rows)
+
+
+def decode_compute(inst: Instruction) -> DecodedCompute:
+    if inst.funct not in (Funct.COMPUTE_PRELOADED, Funct.COMPUTE_ACCUMULATE):
+        raise ValueError(f"not a compute instruction: {inst.funct}")
+    a_addr, a_cols, a_rows = _unpack_addr_dims(inst.rs1)
+    bd_addr, bd_cols, bd_rows = _unpack_addr_dims(inst.rs2)
+    return DecodedCompute(
+        LocalAddr.decode(a_addr), LocalAddr.decode(bd_addr),
+        a_cols, a_rows, bd_cols, bd_rows,
+    )
+
+
+def decode_preload(inst: Instruction) -> DecodedPreload:
+    if inst.funct is not Funct.PRELOAD:
+        raise ValueError(f"not a preload instruction: {inst.funct}")
+    b_addr, b_cols, b_rows = _unpack_addr_dims(inst.rs1)
+    c_addr, c_cols, c_rows = _unpack_addr_dims(inst.rs2)
+    return DecodedPreload(
+        LocalAddr.decode(b_addr), LocalAddr.decode(c_addr),
+        b_cols, b_rows, c_cols, c_rows,
+    )
+
+
+def config_target(inst: Instruction) -> ConfigTarget:
+    if inst.funct is not Funct.CONFIG:
+        raise ValueError(f"not a config instruction: {inst.funct}")
+    return ConfigTarget(inst.rs1 & 0b11)
+
+
+def decode_config_ex(inst: Instruction) -> DecodedConfigEx:
+    if config_target(inst) is not ConfigTarget.EX:
+        raise ValueError("not a CONFIG_EX")
+    rs1 = inst.rs1
+    return DecodedConfigEx(
+        dataflow_ws=bool(rs1 & (1 << 2)),
+        activation=(rs1 >> 3) & 0b11,
+        in_shift=(rs1 >> 16) & 0xFFFF,
+        transpose_a=bool(rs1 & (1 << 5)),
+        transpose_b=bool(rs1 & (1 << 6)),
+        acc_scale=_bits_float(inst.rs2),
+    )
+
+
+def decode_config_ld(inst: Instruction) -> DecodedConfigLd:
+    if config_target(inst) is not ConfigTarget.LD:
+        raise ValueError("not a CONFIG_LD")
+    return DecodedConfigLd(
+        stride_bytes=inst.rs2,
+        scale=_bits_float(inst.rs1 >> 32),
+        shrink=bool(inst.rs1 & (1 << 2)),
+    )
+
+
+def decode_config_st(inst: Instruction) -> DecodedConfigSt:
+    if config_target(inst) is not ConfigTarget.ST:
+        raise ValueError("not a CONFIG_ST")
+    rs1 = inst.rs1
+    return DecodedConfigSt(
+        stride_bytes=inst.rs2,
+        pool_size=(rs1 >> 2) & 0b11,
+        pool_stride=(rs1 >> 4) & 0b11,
+        pool_out_cols=(rs1 >> 6) & 0xFF,
+    )

@@ -1,0 +1,70 @@
+"""Structural processing-element and tile models.
+
+These classes model the paper's Figure 2 microarchitecture at the
+register-transfer level of detail: a *PE* performs one MAC per cycle and a
+*tile* is a combinational (register-free) grid of PEs; pipeline registers
+exist only between tiles.  The structural simulator built from them
+(:class:`~repro.core.spatial_array.StructuralMesh`) is cycle-exact and slow —
+it exists to validate the fast functional/analytic models against, which the
+test suite does for both dataflows on small arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PE:
+    """One processing element: a MAC unit plus operand registers.
+
+    ``weight`` holds the stationary operand (B in weight-stationary mode),
+    with a staged second buffer so a preload can overlap computation.
+    ``accum`` holds the output-stationary partial sum.
+    """
+
+    weight: float = 0.0
+    staged_weight: float = 0.0
+    accum: float = 0.0
+
+    def flip_weights(self) -> None:
+        """Make the staged weight active (the 'propagate' toggle)."""
+        self.weight = self.staged_weight
+
+    def mac_ws(self, a: float, psum_in: float) -> float:
+        """Weight-stationary: return psum_in + a * weight."""
+        return psum_in + a * self.weight
+
+    def mac_os(self, a: float, b: float) -> None:
+        """Output-stationary: accumulate a * b into the local register."""
+        self.accum += a * b
+
+
+@dataclass
+class Tile:
+    """A combinational ``rows x cols`` grid of PEs.
+
+    Within a tile, operands and partial sums ripple through every PE in a
+    single cycle (no pipeline registers) — the long combinational MAC chains
+    are what lower the achievable clock of vector-style (NVDLA-like)
+    configurations in Figure 3.
+    """
+
+    rows: int
+    cols: int
+    pes: list[list[PE]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("tile dimensions must be >= 1")
+        if not self.pes:
+            self.pes = [[PE() for _ in range(self.cols)] for _ in range(self.rows)]
+
+    def pe(self, r: int, c: int) -> PE:
+        return self.pes[r][c]
+
+    @property
+    def mac_chain_length(self) -> int:
+        """Longest combinational MAC chain (the critical path through the
+        tile, in MAC units): partial sums ripple down ``rows`` PEs."""
+        return self.rows

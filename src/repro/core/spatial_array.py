@@ -1,0 +1,333 @@
+"""Spatial-array models: structural (cycle-exact), functional, and analytic.
+
+Three views of the same hardware, used at different simulation speeds:
+
+* :class:`StructuralMesh` — per-cycle simulation of the two-level
+  tiles-of-PEs grid with explicit input skewing and pipeline registers.
+  Slow; used by tests to validate the other two views.
+* :class:`FunctionalMesh` — NumPy semantics of the array (dataflows,
+  transposes, saturation) at instruction granularity.
+* :class:`SpatialArrayModel` — closed-form cycle costs for instructions and
+  whole blocked matmuls; this is what the performance simulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import Dataflow, GemminiConfig
+
+
+# ---------------------------------------------------------------------- #
+# Structural, cycle-exact model                                           #
+# ---------------------------------------------------------------------- #
+
+
+class StructuralMesh:
+    """Cycle-exact two-level spatial array (Figure 2 microarchitecture).
+
+    Registers sit only at tile boundaries: a value crossing from tile to
+    tile takes a cycle, while propagation inside a tile is combinational.
+    Inputs are fed with the skew the register structure requires, exactly as
+    the RTL's edge shifters do.
+    """
+
+    def __init__(self, config: GemminiConfig) -> None:
+        self.config = config
+        self.dim = config.dim
+        self.tile_rows = config.tile_rows
+        self.tile_cols = config.tile_cols
+
+    # -- register-count helpers ---------------------------------------- #
+
+    def row_regs_above(self, r: int) -> int:
+        """Pipeline registers crossed travelling from the top edge to PE row r."""
+        return r // self.tile_rows
+
+    def col_regs_left(self, c: int) -> int:
+        """Pipeline registers crossed travelling from the left edge to PE col c."""
+        return c // self.tile_cols
+
+    # -- weight-stationary --------------------------------------------- #
+
+    def run_ws(self, a: np.ndarray, b: np.ndarray, d: np.ndarray) -> tuple[np.ndarray, int]:
+        """Compute ``C = D + A @ B`` cycle by cycle.
+
+        ``a`` is (m, dim), ``b`` is (dim, dim) stationary, ``d`` is (m, dim).
+        Returns (C as float64 (m, dim), total cycles simulated).
+        """
+        dim = self.dim
+        m = a.shape[0]
+        if a.shape != (m, dim) or b.shape != (dim, dim) or d.shape != (m, dim):
+            raise ValueError("run_ws shape mismatch")
+        a = a.astype(np.float64)
+        b = b.astype(np.float64)
+        d = d.astype(np.float64)
+
+        # Registered state between cycles (value leaving PE (r, c)).
+        a_reg = np.zeros((dim, dim))
+        p_reg = np.zeros((dim, dim))
+        out = np.zeros((m, dim))
+        out_seen = np.zeros((m, dim), dtype=bool)
+
+        max_row_skew = self.row_regs_above(dim - 1)
+        max_col_skew = self.col_regs_left(dim - 1)
+        drain = dim + max_row_skew + max_col_skew + 2
+        total_cycles = m + drain
+
+        for t in range(total_cycles):
+            a_wire = np.zeros((dim, dim))
+            p_wire = np.zeros((dim, dim))
+            for r in range(dim):
+                for c in range(dim):
+                    # A operand from the left.
+                    if c == 0:
+                        i = t - self.row_regs_above(r)
+                        a_left = a[i, r] if 0 <= i < m else 0.0
+                    elif c % self.tile_cols == 0:
+                        a_left = a_reg[r, c - 1]
+                    else:
+                        a_left = a_wire[r, c - 1]
+                    # Partial sum from the top (D enters at the top edge).
+                    if r == 0:
+                        i = t - self.col_regs_left(c)
+                        p_top = d[i, c] if 0 <= i < m else 0.0
+                    elif r % self.tile_rows == 0:
+                        p_top = p_reg[r - 1, c]
+                    else:
+                        p_top = p_wire[r - 1, c]
+                    a_wire[r, c] = a_left
+                    p_wire[r, c] = p_top + a_left * b[r, c]
+            # Collect bottom-edge outputs (wire out of the last PE row).
+            for c in range(dim):
+                i = t - self.col_regs_left(c) - self.row_regs_above(dim - 1)
+                if 0 <= i < m and not out_seen[i, c]:
+                    out[i, c] = p_wire[dim - 1, c]
+                    out_seen[i, c] = True
+            a_reg = a_wire
+            p_reg = p_wire
+
+        if not out_seen.all():
+            raise RuntimeError("structural WS simulation failed to drain")
+        return out, total_cycles
+
+    # -- output-stationary ---------------------------------------------- #
+
+    def run_os(self, a: np.ndarray, b: np.ndarray, d: np.ndarray) -> tuple[np.ndarray, int]:
+        """Compute ``C = D + A @ B`` with C resident in the PEs.
+
+        ``a`` is (dim, k), ``b`` is (k, dim), ``d`` is (dim, dim).
+        Returns (C, cycles including the drain phase).
+        """
+        dim = self.dim
+        k = a.shape[1]
+        if a.shape != (dim, k) or b.shape != (k, dim) or d.shape != (dim, dim):
+            raise ValueError("run_os shape mismatch")
+        a = a.astype(np.float64)
+        b = b.astype(np.float64)
+
+        acc = d.astype(np.float64).copy()
+        a_reg = np.zeros((dim, dim))
+        b_reg = np.zeros((dim, dim))
+
+        max_row_skew = self.row_regs_above(dim - 1)
+        max_col_skew = self.col_regs_left(dim - 1)
+        total_cycles = k + max_row_skew + max_col_skew + 1
+
+        for t in range(total_cycles):
+            a_wire = np.zeros((dim, dim))
+            b_wire = np.zeros((dim, dim))
+            for r in range(dim):
+                for c in range(dim):
+                    if c == 0:
+                        step = t - self.row_regs_above(r)
+                        a_left = a[r, step] if 0 <= step < k else 0.0
+                    elif c % self.tile_cols == 0:
+                        a_left = a_reg[r, c - 1]
+                    else:
+                        a_left = a_wire[r, c - 1]
+                    if r == 0:
+                        step = t - self.col_regs_left(c)
+                        b_top = b[step, c] if 0 <= step < k else 0.0
+                    elif r % self.tile_rows == 0:
+                        b_top = b_reg[r - 1, c]
+                    else:
+                        b_top = b_wire[r - 1, c]
+                    a_wire[r, c] = a_left
+                    b_wire[r, c] = b_top
+                    acc[r, c] += a_left * b_top
+            a_reg = a_wire
+            b_reg = b_wire
+
+        drain_cycles = dim  # results propagate out column by column
+        return acc, total_cycles + drain_cycles
+
+
+# ---------------------------------------------------------------------- #
+# Functional model                                                        #
+# ---------------------------------------------------------------------- #
+
+
+class FunctionalMesh:
+    """Instruction-granularity functional semantics of the spatial array.
+
+    Holds the staged/active weight buffers (WS) and the output-stationary
+    accumulator registers (OS).  All arithmetic happens at accumulator
+    precision; saturation to the input type happens downstream, in the
+    accumulator's output pipeline.
+    """
+
+    def __init__(self, config: GemminiConfig) -> None:
+        self.config = config
+        self.dim = config.dim
+        self._acc_np = config.acc_type.np_dtype
+        self.active_b = np.zeros((self.dim, self.dim), dtype=self._acc_np)
+        self.staged_b = np.zeros((self.dim, self.dim), dtype=self._acc_np)
+        self.os_acc = np.zeros((self.dim, self.dim), dtype=self._acc_np)
+
+    def stage_weights(self, b: np.ndarray) -> None:
+        """PRELOAD: stage B into the double buffer (WS dataflow)."""
+        block = np.zeros((self.dim, self.dim), dtype=self._acc_np)
+        block[: b.shape[0], : b.shape[1]] = b
+        self.staged_b = block
+
+    def flip_weights(self) -> None:
+        """Make staged weights active (start of a COMPUTE_PRELOADED)."""
+        self.active_b = self.staged_b
+
+    def compute_ws(self, a: np.ndarray, d: np.ndarray | None) -> np.ndarray:
+        """C = D + A @ B_active at accumulator precision; A is (m, dim)."""
+        m = a.shape[0]
+        a_wide = np.zeros((m, self.dim), dtype=self._acc_np)
+        a_wide[:, : a.shape[1]] = a
+        result = a_wide @ self.active_b
+        if d is not None:
+            d_wide = np.zeros((m, self.dim), dtype=self._acc_np)
+            d_wide[: d.shape[0], : d.shape[1]] = d
+            result = result + d_wide
+        return result
+
+    def preload_os(self, d: np.ndarray | None) -> None:
+        """PRELOAD in OS mode: seed the per-PE accumulators with D (or 0)."""
+        self.os_acc = np.zeros((self.dim, self.dim), dtype=self._acc_np)
+        if d is not None:
+            self.os_acc[: d.shape[0], : d.shape[1]] = d
+
+    def compute_os(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Accumulate A @ B into the resident C registers; A is (dim, k)."""
+        a_wide = np.zeros((self.dim, a.shape[1]), dtype=self._acc_np)
+        a_wide[: a.shape[0], :] = a
+        b_wide = np.zeros((a.shape[1], self.dim), dtype=self._acc_np)
+        b_wide[:, : b.shape[1]] = b
+        self.os_acc = self.os_acc + a_wide @ b_wide
+
+    def drain_os(self) -> np.ndarray:
+        """Read the output-stationary results out of the array."""
+        result = self.os_acc.copy()
+        self.os_acc = np.zeros((self.dim, self.dim), dtype=self._acc_np)
+        return result
+
+
+# ---------------------------------------------------------------------- #
+# Analytic cycle model                                                    #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MatmulCost:
+    """Cycle breakdown of a blocked matmul on the array."""
+
+    compute_cycles: float
+    drain_cycles: float
+    fill_latency: float
+    blocks: int
+
+    @property
+    def total(self) -> float:
+        return self.compute_cycles + self.drain_cycles + self.fill_latency
+
+
+class SpatialArrayModel:
+    """Closed-form cycle costs, consistent with the structural model.
+
+    The consistency is enforced by tests: for random small shapes, the
+    structural simulation's cycle count equals ``fill_latency + rows`` for a
+    single WS block (and the OS equivalent).
+    """
+
+    def __init__(self, config: GemminiConfig) -> None:
+        self.config = config
+        self.dim = config.dim
+
+    # -- per-instruction costs ----------------------------------------- #
+
+    @property
+    def fill_latency(self) -> int:
+        """Cycles for a wavefront to cross the array: one per pipeline
+        register row plus one per register column, plus the combinational
+        traversal of the final tile (one cycle)."""
+        cfg = self.config
+        return (cfg.mesh_rows - 1) + (cfg.mesh_cols - 1) + 2
+
+    def compute_cycles(self, rows: int) -> int:
+        """Occupancy of one COMPUTE streaming ``rows`` operand rows.
+
+        The array accepts one row per cycle; the preload of the next
+        stationary operand overlaps via the double-buffered weight
+        registers, so back-to-back COMPUTEs sustain one row per cycle.
+        """
+        return max(1, rows)
+
+    def preload_cycles(self) -> int:
+        """PRELOAD occupies the issue path only (weights stream in through
+        the same wavefront as the following COMPUTE)."""
+        return 1
+
+    def os_drain_cycles(self) -> int:
+        """Reading C out of an output-stationary array: one column wave."""
+        return self.dim
+
+    # -- blocked-matmul costs ------------------------------------------- #
+
+    def matmul_cost(
+        self, m: int, k: int, n: int, dataflow: Dataflow = Dataflow.WS
+    ) -> MatmulCost:
+        """Cycles to compute an ``m x k @ k x n`` matmul resident in the
+        scratchpad (no DMA), at DIM-block granularity."""
+        if min(m, k, n) <= 0:
+            raise ValueError("matmul dimensions must be positive")
+        if dataflow is Dataflow.BOTH:
+            dataflow = Dataflow.WS
+        dim = self.dim
+        mb = -(-m // dim)
+        kb = -(-k // dim)
+        nb = -(-n // dim)
+        blocks = mb * kb * nb
+
+        last_m = m - (mb - 1) * dim
+        # Each (k, n) block streams the M dimension through the array.
+        full_col_cycles = (mb - 1) * dim + last_m
+        compute = kb * nb * full_col_cycles
+
+        if dataflow is Dataflow.WS:
+            drain = 0.0
+        else:
+            # OS drains each output block through the array.
+            drain = float(mb * nb * self.os_drain_cycles())
+        return MatmulCost(
+            compute_cycles=float(compute),
+            drain_cycles=drain,
+            fill_latency=float(self.fill_latency),
+            blocks=blocks,
+        )
+
+    def ideal_macs_per_cycle(self) -> int:
+        return self.config.num_pes
+
+    def utilisation(self, m: int, k: int, n: int, dataflow: Dataflow = Dataflow.WS) -> float:
+        """Achieved MACs/cycle over peak for a scratchpad-resident matmul."""
+        cost = self.matmul_cost(m, k, n, dataflow)
+        macs = m * k * n
+        return macs / (cost.total * self.ideal_macs_per_cycle())

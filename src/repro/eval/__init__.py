@@ -1,0 +1,41 @@
+"""Experiment runners: one per table and figure of the paper.
+
+Each ``run_*`` function reproduces one evaluation artifact and returns a
+structured result carrying both the measured values and the paper's
+published reference points, so benches and tests can compare shapes.
+"""
+
+from repro.eval.tables import TABLE_I, format_table_i
+from repro.eval.experiments import (
+    Fig3Result,
+    Fig4Result,
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+from repro.eval.report import format_table
+
+__all__ = [
+    "TABLE_I",
+    "format_table_i",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "run_fig3",
+    "run_fig4",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "format_table",
+]

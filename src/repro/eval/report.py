@@ -1,0 +1,55 @@
+"""ASCII rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable[tuple[float, float]], width: int = 60) -> str:
+    """Render a (time, value) series as a compact ASCII sparkline block."""
+    points = list(points)
+    if not points:
+        return f"{name}: (empty)"
+    values = [v for __, v in points]
+    top = max(values) or 1.0
+    blocks = " .:-=+*#%@"
+    chars = []
+    stride = max(1, len(values) // width)
+    for i in range(0, len(values), stride):
+        window = values[i : i + stride]
+        level = sum(window) / len(window) / top
+        chars.append(blocks[min(len(blocks) - 1, int(level * (len(blocks) - 1) + 0.5))])
+    return (
+        f"{name}: peak={max(values):.3f} mean={sum(values) / len(values):.3f}\n"
+        f"  [{''.join(chars)}]"
+    )
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,65 @@
+"""Address arithmetic helpers shared by the caches, TLBs and DMA engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Round ``addr`` down to a multiple of ``alignment`` (a power of two)."""
+    return addr & ~(alignment - 1)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round ``addr`` up to a multiple of ``alignment`` (a power of two)."""
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+def line_span(addr: int, nbytes: int, line_bytes: int) -> range:
+    """Cache-line indices touched by the byte range ``[addr, addr+nbytes)``."""
+    if nbytes <= 0:
+        return range(0)
+    first = addr // line_bytes
+    last = (addr + nbytes - 1) // line_bytes
+    return range(first, last + 1)
+
+
+def page_span(addr: int, nbytes: int, page_bytes: int) -> range:
+    """Virtual page numbers touched by the byte range ``[addr, addr+nbytes)``."""
+    if nbytes <= 0:
+        return range(0)
+    first = addr // page_bytes
+    last = (addr + nbytes - 1) // page_bytes
+    return range(first, last + 1)
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte range ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("AddressRange size must be non-negative")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        if self.size == 0 or other.size == 0:
+            return False
+        return self.base < other.end and other.base < self.end
+
+    def intersection(self, other: "AddressRange") -> "AddressRange":
+        base = max(self.base, other.base)
+        end = min(self.end, other.end)
+        return AddressRange(base, max(0, end - base))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressRange(0x{self.base:x}, +0x{self.size:x})"

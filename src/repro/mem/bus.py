@@ -1,0 +1,42 @@
+"""System-bus model: the TileLink-style crossbar between masters and the L2.
+
+The paper lists "bus widths between accelerators and host CPUs" as an
+SoC-level parameter (Section III-C).  The bus is a shared bandwidth resource:
+wider buses move DMA rows in fewer cycles, and multiple masters (two
+CPU+accelerator tiles in Figure 5) contend for the same beats.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import StatsRegistry
+from repro.sim.timeline import BandwidthTimeline
+
+
+class SystemBus:
+    """A shared bus with a beat width in bytes and one-cycle arbitration."""
+
+    def __init__(self, beat_bytes: int = 16, name: str = "sysbus") -> None:
+        if beat_bytes <= 0 or beat_bytes & (beat_bytes - 1):
+            raise ValueError("beat_bytes must be a positive power of two")
+        self.beat_bytes = beat_bytes
+        self.name = name
+        self.channel = BandwidthTimeline(name, bytes_per_cycle=beat_bytes, overhead=1.0)
+        self.stats = StatsRegistry(owner=name)
+
+    def transfer(self, now: float, nbytes: int, requester: str = "") -> float:
+        """Move ``nbytes`` across the bus; returns the completion time."""
+        if nbytes <= 0:
+            return now
+        self.stats.counter("transactions").add()
+        self.stats.counter("bytes").add(nbytes)
+        if requester:
+            self.stats.counter(f"bytes_{requester}").add(nbytes)
+        __, end = self.channel.transfer(now, nbytes)
+        return end
+
+    def utilisation(self, horizon: float) -> float:
+        return self.channel.utilisation(horizon)
+
+    def reset(self) -> None:
+        self.channel.reset()
+        self.stats.reset()

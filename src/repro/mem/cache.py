@@ -1,0 +1,169 @@
+"""Set-associative write-back cache model (the SoC's shared L2).
+
+The cache is the central shared resource of the paper's Section V-B case
+study: convolutions want scratchpad, residual additions want their layer
+outputs to *survive in the L2* until consumed several layers later, and in
+dual-core SoCs the two processes' working sets evict each other.  Those
+behaviours all emerge from an ordinary set-associative LRU model, which is
+what this module provides.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.sim.stats import StatsRegistry
+from repro.sim.timeline import BandwidthTimeline
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int = 1 << 20
+    ways: int = 8
+    line_bytes: int = 64
+    hit_latency: float = 20.0
+    bytes_per_cycle: float = 64.0
+    writeback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+        if self.ways <= 0:
+            raise ValueError("ways must be positive")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("size must be divisible by line_bytes * ways")
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+class Cache:
+    """A write-back, write-allocate, LRU set-associative cache.
+
+    ``lower`` is any object exposing ``access(now, addr, nbytes, is_write)
+    -> end_time`` — in practice a :class:`~repro.mem.dram.DRAMModel` or
+    another :class:`Cache`.
+    """
+
+    def __init__(self, config: CacheConfig, lower, name: str = "L2") -> None:
+        self.config = config
+        self.lower = lower
+        self.name = name
+        self.port = BandwidthTimeline(f"{name}.port", config.bytes_per_cycle)
+        self.stats = StatsRegistry(owner=name)
+        # One LRU structure per set: OrderedDict maps tag -> dirty flag.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        self._line = config.line_bytes
+
+    # ------------------------------------------------------------------ #
+    # Timing + functional access                                         #
+    # ------------------------------------------------------------------ #
+
+    def access(
+        self,
+        now: float,
+        addr: int,
+        nbytes: int,
+        is_write: bool,
+        requester: str = "",
+    ) -> float:
+        """Access a contiguous byte range; returns the completion time.
+
+        The range is decomposed into cache lines.  Hits are served at the
+        cache port bandwidth after ``hit_latency``; each miss fetches the
+        line from the lower level (plus a writeback if the victim is dirty).
+        """
+        if nbytes <= 0:
+            return now
+        cfg = self.config
+        line = self._line
+        first = addr // line
+        last = (addr + nbytes - 1) // line
+        stats = self.stats
+        hits = 0
+        misses = 0
+        lower_end = now
+
+        for index in range(first, last + 1):
+            set_index = index % self._num_sets
+            tag = index // self._num_sets
+            ways = self._sets[set_index]
+            if tag in ways:
+                hits += 1
+                ways.move_to_end(tag)
+                if is_write:
+                    ways[tag] = True
+            else:
+                misses += 1
+                if len(ways) >= self._ways:
+                    victim_tag, victim_dirty = ways.popitem(last=False)
+                    stats.counter("evictions").add()
+                    if victim_dirty and cfg.writeback:
+                        stats.counter("writebacks").add()
+                        victim_addr = (victim_tag * self._num_sets + set_index) * line
+                        lower_end = self.lower.access(now, victim_addr, line, True)
+                # Fetch the missing line from below (write-allocate).
+                lower_end = max(
+                    lower_end, self.lower.access(now, index * line, line, False)
+                )
+                ways[tag] = is_write
+
+        stats.counter("hits").add(hits)
+        stats.counter("misses").add(misses)
+        stats.counter("accesses").add(hits + misses)
+        stats.counter("writes" if is_write else "reads").add()
+        if requester:
+            stats.counter(f"hits_{requester}").add(hits)
+            stats.counter(f"misses_{requester}").add(misses)
+
+        __, port_end = self.port.transfer(now + cfg.hit_latency, nbytes)
+        return max(port_end, lower_end)
+
+    # ------------------------------------------------------------------ #
+    # Inspection / maintenance                                            #
+    # ------------------------------------------------------------------ #
+
+    def probe(self, addr: int) -> bool:
+        """True if the line containing ``addr`` is currently resident."""
+        index = addr // self._line
+        return (index // self._num_sets) in self._sets[index % self._num_sets]
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def flush(self, now: float = 0.0) -> float:
+        """Write back all dirty lines and invalidate; returns completion time."""
+        end = now
+        for set_index, ways in enumerate(self._sets):
+            for tag, dirty in ways.items():
+                if dirty and self.config.writeback:
+                    addr = (tag * self._num_sets + set_index) * self._line
+                    end = self.lower.access(end, addr, self._line, True)
+                    self.stats.counter("writebacks").add()
+            ways.clear()
+        return end
+
+    def miss_rate(self) -> float:
+        return self.stats.ratio("misses", "accesses")
+
+    def reset(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+        self.port.reset()
+        self.stats.reset()

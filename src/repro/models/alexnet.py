@@ -1,0 +1,34 @@
+"""AlexNet: the classic five-conv/three-FC CNN (Krizhevsky et al., 2012).
+
+Single-tower variant (grouped convolutions merged), ~0.7 GMACs at 224x224.
+Its large kernels and small layer count make it the fastest of the paper's
+CNNs on the accelerator (79.3 FPS at 1 GHz in Figure 7's discussion).
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import LayerNamer, conv_bn_act, fully_connected, max_pool
+from repro.sw.graph import Graph
+
+
+def build_alexnet(input_hw: int = 224, classes: int = 1000) -> Graph:
+    graph = Graph("alexnet")
+    namer = LayerNamer()
+    data = graph.add_input("input", (input_hw, input_hw, 3)).name
+
+    x = conv_bn_act(graph, namer, data, 96, kernel=11, stride=4, padding=2, prefix="conv1")
+    x = max_pool(graph, namer, x, kernel=3, stride=2)
+    x = conv_bn_act(graph, namer, x, 256, kernel=5, padding=2, prefix="conv2")
+    x = max_pool(graph, namer, x, kernel=3, stride=2)
+    x = conv_bn_act(graph, namer, x, 384, kernel=3, padding=1, prefix="conv3")
+    x = conv_bn_act(graph, namer, x, 384, kernel=3, padding=1, prefix="conv4")
+    x = conv_bn_act(graph, namer, x, 256, kernel=3, padding=1, prefix="conv5")
+    x = max_pool(graph, namer, x, kernel=3, stride=2)
+
+    flat = graph.add_node("Flatten", namer("flatten"), [x], "flatten_out")
+    x = fully_connected(graph, namer, flat.name, 4096, activation="Relu", prefix="fc6")
+    x = fully_connected(graph, namer, x, 4096, activation="Relu", prefix="fc7")
+    logits = fully_connected(graph, namer, x, classes, prefix="fc8")
+    graph.mark_output(logits)
+    graph.validate()
+    return graph

@@ -1,0 +1,87 @@
+"""BERT-base encoder (Devlin et al., 2019): the paper's language model.
+
+12 transformer layers, hidden 768, 12 heads, FFN 3072.  Matmuls run on the
+accelerator; softmax, layer-norm and GELU remain on the host CPU — which is
+why the paper's BERT speedup (144x) sits far below the CNN speedups: the
+CPU-resident operators bound the pipeline (the Section II "77% of time on
+CPUs" effect).
+
+Attention is modelled with folded matmuls that preserve the exact MAC
+counts: ``scores = Q @ K^T`` as ``(seq, hidden) @ (hidden, seq)`` and
+``context = P @ V`` as ``(seq, seq) @ (seq, hidden)`` — each equals the sum
+over heads of the per-head products.  The softmax node carries a
+``batch=heads`` attribute so its CPU cost covers all heads' score matrices.
+"""
+
+from __future__ import annotations
+
+from repro.sw.graph import Graph
+
+HIDDEN = 768
+HEADS = 12
+HEAD_DIM = HIDDEN // HEADS
+FFN = 3072
+LAYERS = 12
+
+
+def _encoder_layer(graph: Graph, x: str, seq: int, index: int) -> str:
+    prefix = f"l{index}"
+
+    def w(name: str, shape) -> str:
+        return graph.add_weight(f"{prefix}_{name}", shape).name
+
+    # Q, K, V projections.
+    q = graph.add_node("Gemm", f"{prefix}_q", [x, w("wq", (HIDDEN, HIDDEN))], f"{prefix}_q_out")
+    k = graph.add_node("Gemm", f"{prefix}_k", [x, w("wk", (HIDDEN, HIDDEN))], f"{prefix}_k_out")
+    v = graph.add_node("Gemm", f"{prefix}_v", [x, w("wv", (HIDDEN, HIDDEN))], f"{prefix}_v_out")
+
+    # Scores: sum over heads of (seq, head_dim) @ (head_dim, seq) ==
+    # (seq, hidden) @ (hidden, seq).  K^T is a zero-copy view.
+    k_t = graph.add_node(
+        "Reshape", f"{prefix}_kT", [k.name], f"{prefix}_kT_out",
+        attrs={"shape": [HIDDEN, seq]},
+    )
+    scores = graph.add_node(
+        "MatMul", f"{prefix}_scores", [q.name, k_t.name], f"{prefix}_scores_out"
+    )
+    probs = graph.add_node(
+        "Softmax", f"{prefix}_softmax", [scores.name], f"{prefix}_probs",
+        attrs={"batch": HEADS},
+    )
+
+    # Context: sum over heads of (seq, seq) @ (seq, head_dim).
+    context = graph.add_node(
+        "MatMul", f"{prefix}_ctx", [probs.name, v.name], f"{prefix}_ctx_out"
+    )
+
+    # Output projection + residual + layer norm.
+    proj = graph.add_node(
+        "Gemm", f"{prefix}_proj", [context.name, w("wo", (HIDDEN, HIDDEN))], f"{prefix}_proj_out"
+    )
+    attn_res = graph.add_node("Add", f"{prefix}_attn_res", [proj.name, x], f"{prefix}_attn_res_out")
+    attn_ln = graph.add_node("LayerNorm", f"{prefix}_ln1", [attn_res.name], f"{prefix}_ln1_out")
+
+    # Feed-forward network.
+    ff1 = graph.add_node(
+        "Gemm", f"{prefix}_ff1", [attn_ln.name, w("wff1", (HIDDEN, FFN))], f"{prefix}_ff1_out"
+    )
+    gelu = graph.add_node("Gelu", f"{prefix}_gelu", [ff1.name], f"{prefix}_gelu_out")
+    ff2 = graph.add_node(
+        "Gemm", f"{prefix}_ff2", [gelu.name, w("wff2", (FFN, HIDDEN))], f"{prefix}_ff2_out"
+    )
+    ff_res = graph.add_node(
+        "Add", f"{prefix}_ff_res", [ff2.name, attn_ln.name], f"{prefix}_ff_res_out"
+    )
+    ff_ln = graph.add_node("LayerNorm", f"{prefix}_ln2", [ff_res.name], f"{prefix}_ln2_out")
+    return ff_ln.name
+
+
+def build_bert(seq: int = 128, layers: int = LAYERS) -> Graph:
+    """Build a BERT-base encoder stack over pre-embedded inputs."""
+    graph = Graph("bert")
+    x = graph.add_input("embeddings", (seq, HIDDEN)).name
+    for index in range(layers):
+        x = _encoder_layer(graph, x, seq, index)
+    graph.mark_output(x)
+    graph.validate()
+    return graph

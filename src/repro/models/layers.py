@@ -1,0 +1,131 @@
+"""Shared building blocks for the model zoo graphs."""
+
+from __future__ import annotations
+
+from repro.sw.graph import Graph
+
+
+class LayerNamer:
+    """Generates unique, stable node/tensor names within one graph."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def __call__(self, prefix: str) -> str:
+        index = self._counts.get(prefix, 0)
+        self._counts[prefix] = index + 1
+        return f"{prefix}_{index}"
+
+
+def conv_bn_act(
+    graph: Graph,
+    namer: LayerNamer,
+    data: str,
+    out_ch: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    activation: str | None = "Relu",
+    prefix: str = "conv",
+) -> str:
+    """Conv + BatchNorm + optional activation; returns the output tensor."""
+    in_shape = graph.tensor(data).shape
+    name = namer(prefix)
+    weight = graph.add_weight(
+        f"{name}_w", (kernel, kernel, in_shape[2], out_ch)
+    )
+    out = graph.add_node(
+        "Conv",
+        name,
+        [data, weight.name],
+        f"{name}_out",
+        attrs={"kernel": kernel, "stride": stride, "padding": padding, "out_ch": out_ch},
+    )
+    bn = graph.add_node("BatchNorm", f"{name}_bn", [out.name], f"{name}_bn_out")
+    current = bn.name
+    if activation:
+        act = graph.add_node(activation, f"{name}_act", [current], f"{name}_act_out")
+        current = act.name
+    return current
+
+
+def dwconv_bn_act(
+    graph: Graph,
+    namer: LayerNamer,
+    data: str,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    activation: str | None = "Relu6",
+    prefix: str = "dwconv",
+) -> str:
+    """Depthwise conv + BN + activation; returns the output tensor."""
+    in_shape = graph.tensor(data).shape
+    name = namer(prefix)
+    weight = graph.add_weight(f"{name}_w", (kernel, kernel, in_shape[2]))
+    out = graph.add_node(
+        "DepthwiseConv",
+        name,
+        [data, weight.name],
+        f"{name}_out",
+        attrs={"kernel": kernel, "stride": stride, "padding": padding},
+    )
+    bn = graph.add_node("BatchNorm", f"{name}_bn", [out.name], f"{name}_bn_out")
+    current = bn.name
+    if activation:
+        act = graph.add_node(activation, f"{name}_act", [current], f"{name}_act_out")
+        current = act.name
+    return current
+
+
+def max_pool(
+    graph: Graph,
+    namer: LayerNamer,
+    data: str,
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+) -> str:
+    name = namer("pool")
+    node = graph.add_node(
+        "MaxPool",
+        name,
+        [data],
+        f"{name}_out",
+        attrs={"kernel": kernel, "stride": stride, "padding": padding},
+    )
+    return node.name
+
+
+def global_avg_pool_fc(
+    graph: Graph,
+    namer: LayerNamer,
+    data: str,
+    classes: int,
+) -> str:
+    """GlobalAvgPool + Flatten + classifier Gemm; returns logits tensor."""
+    gap = graph.add_node("GlobalAveragePool", namer("gap"), [data], "gap_out")
+    flat = graph.add_node("Flatten", namer("flatten"), [gap.name], "flatten_out")
+    hidden = graph.tensor(flat.name).shape[1]
+    weight = graph.add_weight("fc_w", (hidden, classes))
+    fc = graph.add_node("Gemm", namer("fc"), [flat.name, weight.name], "logits")
+    return fc.name
+
+
+def fully_connected(
+    graph: Graph,
+    namer: LayerNamer,
+    data: str,
+    out_features: int,
+    activation: str | None = None,
+    prefix: str = "fc",
+) -> str:
+    in_features = graph.tensor(data).shape[1]
+    name = namer(prefix)
+    weight = graph.add_weight(f"{name}_w", (in_features, out_features))
+    out = graph.add_node("Gemm", name, [data, weight.name], f"{name}_out")
+    current = out.name
+    if activation:
+        act = graph.add_node(activation, f"{name}_act", [current], f"{name}_act_out")
+        current = act.name
+    return current

@@ -1,0 +1,62 @@
+"""MobileNetV2 (Sandler et al., 2018): inverted residuals + depthwise convs.
+
+~0.3 GMACs at 224x224 but poorly suited to spatial accelerators: the
+depthwise convolutions have almost no data reuse (each output channel sees
+only its own k^2 inputs), so the paper reports just a 127x speedup and
+18.7 FPS for it (Figure 7 discussion).
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import LayerNamer, conv_bn_act, dwconv_bn_act, global_avg_pool_fc
+from repro.sw.graph import Graph
+
+#: (expansion t, out_channels c, repeats n, first_stride s)
+INVERTED_RESIDUALS = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    graph: Graph, namer: LayerNamer, data: str, expansion: int, out_ch: int, stride: int
+) -> str:
+    in_ch = graph.tensor(data).shape[2]
+    x = data
+    if expansion != 1:
+        x = conv_bn_act(
+            graph, namer, x, in_ch * expansion, kernel=1,
+            activation="Relu6", prefix="expand",
+        )
+    x = dwconv_bn_act(graph, namer, x, kernel=3, stride=stride, padding=1)
+    x = conv_bn_act(graph, namer, x, out_ch, kernel=1, activation=None, prefix="project")
+    if stride == 1 and in_ch == out_ch:
+        add_name = namer("resadd")
+        added = graph.add_node("Add", add_name, [x, data], f"{add_name}_out")
+        return added.name
+    return x
+
+
+def build_mobilenetv2(input_hw: int = 224, classes: int = 1000) -> Graph:
+    graph = Graph("mobilenetv2")
+    namer = LayerNamer()
+    data = graph.add_input("input", (input_hw, input_hw, 3)).name
+
+    x = conv_bn_act(
+        graph, namer, data, 32, kernel=3, stride=2, padding=1,
+        activation="Relu6", prefix="stem",
+    )
+    for expansion, out_ch, repeats, first_stride in INVERTED_RESIDUALS:
+        for block in range(repeats):
+            stride = first_stride if block == 0 else 1
+            x = _inverted_residual(graph, namer, x, expansion, out_ch, stride)
+    x = conv_bn_act(graph, namer, x, 1280, kernel=1, activation="Relu6", prefix="head")
+    logits = global_avg_pool_fc(graph, namer, x, classes)
+    graph.mark_output(logits)
+    graph.validate()
+    return graph

@@ -1,0 +1,71 @@
+"""ResNet-50 (v1.5): the paper's primary CNN workload.
+
+Exact layer shapes from He et al., CVPR 2016, with the stride-on-3x3
+variant (v1.5).  53 convolutions, 16 residual additions, ~2.0 GMACs for a
+224x224 input — convolutions of high arithmetic intensity, matmuls of less,
+and residual additions with almost none, which is precisely the layer-type
+mix the Section V-B memory-partitioning study exploits.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import LayerNamer, conv_bn_act, global_avg_pool_fc, max_pool
+from repro.sw.graph import Graph
+
+#: (blocks, mid_channels, out_channels, first_stride) per stage
+STAGES = (
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+
+def _bottleneck(
+    graph: Graph,
+    namer: LayerNamer,
+    data: str,
+    mid_ch: int,
+    out_ch: int,
+    stride: int,
+    downsample: bool,
+) -> str:
+    """One bottleneck residual block: 1x1 -> 3x3(stride) -> 1x1 + shortcut."""
+    shortcut = data
+    if downsample:
+        shortcut = conv_bn_act(
+            graph, namer, data, out_ch, kernel=1, stride=stride,
+            activation=None, prefix="down",
+        )
+    x = conv_bn_act(graph, namer, data, mid_ch, kernel=1, prefix="b1x1a")
+    x = conv_bn_act(
+        graph, namer, x, mid_ch, kernel=3, stride=stride, padding=1, prefix="b3x3"
+    )
+    x = conv_bn_act(graph, namer, x, out_ch, kernel=1, activation=None, prefix="b1x1b")
+    add_name = namer("resadd")
+    added = graph.add_node("Add", add_name, [x, shortcut], f"{add_name}_out")
+    relu = graph.add_node("Relu", f"{add_name}_relu", [added.name], f"{add_name}_relu_out")
+    return relu.name
+
+
+def build_resnet50(input_hw: int = 224, classes: int = 1000) -> Graph:
+    """Build the ResNet-50 graph at the given input resolution."""
+    graph = Graph("resnet50")
+    namer = LayerNamer()
+    data = graph.add_input("input", (input_hw, input_hw, 3)).name
+
+    # Stem: 7x7/2 conv + 3x3/2 max pool.
+    x = conv_bn_act(graph, namer, data, 64, kernel=7, stride=2, padding=3, prefix="stem")
+    x = max_pool(graph, namer, x, kernel=3, stride=2, padding=1)
+
+    for blocks, mid_ch, out_ch, first_stride in STAGES:
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            x = _bottleneck(
+                graph, namer, x, mid_ch, out_ch, stride, downsample=(block == 0)
+            )
+
+    logits = global_avg_pool_fc(graph, namer, x, classes)
+    graph.mark_output(logits)
+    graph.validate()
+    return graph

@@ -1,0 +1,56 @@
+"""SqueezeNet v1.1 (Iandola et al., 2016): a parameter-frugal CNN.
+
+Fire modules (1x1 squeeze, 1x1 + 3x3 expand, channel concat), ~0.35 GMACs
+at 224x224.  The paper notes it "was designed to be run efficiently on
+modern CPUs", yet the accelerator still reaches a 1,760x speedup over the
+Rocket host.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import LayerNamer, conv_bn_act, max_pool
+from repro.sw.graph import Graph
+
+#: (squeeze_ch, expand_ch) per fire module, v1.1 schedule
+FIRE_MODULES = ((16, 64), (16, 64), (32, 128), (32, 128), (48, 192), (48, 192), (64, 256), (64, 256))
+
+
+def _fire(graph: Graph, namer: LayerNamer, data: str, squeeze_ch: int, expand_ch: int) -> str:
+    name = namer("fire")
+    squeezed = conv_bn_act(
+        graph, namer, data, squeeze_ch, kernel=1, prefix=f"{name}_squeeze"
+    )
+    left = conv_bn_act(
+        graph, namer, squeezed, expand_ch, kernel=1, prefix=f"{name}_exp1"
+    )
+    right = conv_bn_act(
+        graph, namer, squeezed, expand_ch, kernel=3, padding=1, prefix=f"{name}_exp3"
+    )
+    concat = graph.add_node(
+        "Concat", f"{name}_cat", [left, right], f"{name}_cat_out", attrs={"axis": -1}
+    )
+    return concat.name
+
+
+def build_squeezenet(input_hw: int = 224, classes: int = 1000) -> Graph:
+    graph = Graph("squeezenet")
+    namer = LayerNamer()
+    data = graph.add_input("input", (input_hw, input_hw, 3)).name
+
+    x = conv_bn_act(graph, namer, data, 64, kernel=3, stride=2, prefix="conv1")
+    x = max_pool(graph, namer, x, kernel=3, stride=2)
+    x = _fire(graph, namer, x, *FIRE_MODULES[0])
+    x = _fire(graph, namer, x, *FIRE_MODULES[1])
+    x = max_pool(graph, namer, x, kernel=3, stride=2)
+    x = _fire(graph, namer, x, *FIRE_MODULES[2])
+    x = _fire(graph, namer, x, *FIRE_MODULES[3])
+    x = max_pool(graph, namer, x, kernel=3, stride=2)
+    for squeeze_ch, expand_ch in FIRE_MODULES[4:]:
+        x = _fire(graph, namer, x, squeeze_ch, expand_ch)
+
+    x = conv_bn_act(graph, namer, x, classes, kernel=1, prefix="conv10")
+    gap = graph.add_node("GlobalAveragePool", namer("gap"), [x], "gap_out")
+    flat = graph.add_node("Flatten", namer("flatten"), [gap.name], "logits")
+    graph.mark_output(flat.name)
+    graph.validate()
+    return graph

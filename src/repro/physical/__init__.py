@@ -1,0 +1,27 @@
+"""Physical-design models: area, timing and power of generated instances.
+
+The paper evaluates physical feasibility with commercial synthesis and
+place-and-route (Cadence Genus/Innovus, Intel 22nm FFL).  This package
+provides analytic models calibrated at the paper's published synthesis
+points — the systolic/vector comparison of Figure 3 and the area breakdown
+of Figure 6 — and extrapolates across the template's design space.
+"""
+
+from repro.physical.technology import INTEL_22FFL, TSMC_16FF, Technology
+from repro.physical.area import AreaBreakdown, accelerator_area
+from repro.physical.timing import max_frequency_ghz
+from repro.physical.power import power_mw
+from repro.physical.energy import EnergyReport, estimate_energy, estimate_run_energy
+
+__all__ = [
+    "INTEL_22FFL",
+    "TSMC_16FF",
+    "Technology",
+    "AreaBreakdown",
+    "accelerator_area",
+    "max_frequency_ghz",
+    "power_mw",
+    "EnergyReport",
+    "estimate_energy",
+    "estimate_run_energy",
+]

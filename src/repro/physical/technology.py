@@ -1,0 +1,98 @@
+"""Process-technology constants, calibrated to the paper's synthesis data.
+
+Calibration anchors (Intel 22nm FFL, Cadence Genus/Innovus):
+
+* Figure 3 — 256-PE spatial arrays: fully pipelined (systolic) 1.89 GHz /
+  120 kum^2; fully combinational (vector) 0.69 GHz / 67 kum^2; the systolic
+  design burns 3.0x the vector design's power.
+* Figure 6 — 16x16 accelerator with Rocket host: scratchpad 544 kum^2 per
+  256 KB, accumulator 146 kum^2 per 64 KB, Rocket core 171 kum^2, total
+  1,029 kum^2.
+
+Solving the two Figure 3 points gives the MAC-chain delay and per-PE /
+per-pipeline-register areas; everything else in the design space is an
+extrapolation from these anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Analytic technology parameters for one process."""
+
+    name: str
+    #: fixed path delay (clock-q, SRAM read, routing margin), ns
+    t_base_ns: float
+    #: incremental delay of one combinational MAC in the ripple chain, ns
+    t_mac_ns: float
+    #: area of one PE's MAC + stationary operand storage, um^2
+    pe_area_um2: float
+    #: area of one pipeline register station (operand + partial sum), um^2
+    pipeline_reg_area_um2: float
+    #: scratchpad SRAM density, um^2 per byte
+    sp_sram_um2_per_byte: float
+    #: accumulator SRAM density (wider cells + adders), um^2 per byte
+    acc_sram_um2_per_byte: float
+    #: fixed uncore area: controller, DMA, TLBs, im2col et al., um^2
+    uncore_area_um2: float
+    #: per-PE dynamic power at 500 MHz, mW
+    pe_power_mw: float
+    #: per-pipeline-register dynamic power at 500 MHz, mW
+    reg_power_mw: float
+    #: SRAM dynamic power per KB at 500 MHz, mW
+    sram_power_mw_per_kb: float
+    #: host CPU areas, um^2
+    cpu_area_um2: dict
+
+    def scaled(self, area_factor: float, speed_factor: float, name: str) -> "Technology":
+        return Technology(
+            name=name,
+            t_base_ns=self.t_base_ns / speed_factor,
+            t_mac_ns=self.t_mac_ns / speed_factor,
+            pe_area_um2=self.pe_area_um2 * area_factor,
+            pipeline_reg_area_um2=self.pipeline_reg_area_um2 * area_factor,
+            sp_sram_um2_per_byte=self.sp_sram_um2_per_byte * area_factor,
+            acc_sram_um2_per_byte=self.acc_sram_um2_per_byte * area_factor,
+            uncore_area_um2=self.uncore_area_um2 * area_factor,
+            pe_power_mw=self.pe_power_mw * area_factor,
+            reg_power_mw=self.reg_power_mw * area_factor,
+            sram_power_mw_per_kb=self.sram_power_mw_per_kb * area_factor,
+            cpu_area_um2={k: v * area_factor for k, v in self.cpu_area_um2.items()},
+        )
+
+
+# Solved from the Figure 3 anchor pair (see module docstring):
+#   1/1.89 = t_base + 1  * t_mac
+#   1/0.69 = t_base + 16 * t_mac
+_T_MAC = (1 / 0.69 - 1 / 1.89) / 15.0  # 0.0613 ns
+_T_BASE = 1 / 1.89 - _T_MAC  # 0.4678 ns
+
+# Area: 256*pe + 512*reg = 120k (systolic), 256*pe + 32*reg = 67k (vector).
+_REG_AREA = (120_000.0 - 67_000.0) / 480.0  # 110.4 um^2
+_PE_AREA = (67_000.0 - 32 * _REG_AREA) / 256.0  # 247.9 um^2
+
+# Power: (256*p_pe + 512*p_reg) = 3.0 * (256*p_pe + 32*p_reg).
+_PE_POWER = 0.05  # mW at 500 MHz (scale anchor)
+_REG_POWER = _PE_POWER * 512.0 / 416.0  # ratio solved from the 3.0x claim
+
+INTEL_22FFL = Technology(
+    name="intel-22ffl",
+    t_base_ns=_T_BASE,
+    t_mac_ns=_T_MAC,
+    pe_area_um2=_PE_AREA,
+    pipeline_reg_area_um2=_REG_AREA,
+    sp_sram_um2_per_byte=544_000.0 / (256 * 1024),  # Figure 6
+    acc_sram_um2_per_byte=146_000.0 / (64 * 1024),  # Figure 6
+    uncore_area_um2=47_500.0,  # Figure 6 total minus named components
+    pe_power_mw=_PE_POWER,
+    reg_power_mw=_REG_POWER,
+    sram_power_mw_per_kb=0.08,
+    cpu_area_um2={"rocket": 171_000.0, "boom": 1_400_000.0, "none": 0.0},
+)
+
+#: TSMC 16nm FinFET (the other tapeout process): denser and faster.  The
+#: scale factors are nominal inter-node estimates, not calibrated data.
+TSMC_16FF = INTEL_22FFL.scaled(area_factor=0.58, speed_factor=1.18, name="tsmc-16ff")

@@ -1,0 +1,25 @@
+"""Discrete-event simulation primitives shared by all architectural models.
+
+The simulator is *transaction level with cycle bookkeeping*: components do not
+tick a global clock; instead they book occupancy on shared
+:class:`~repro.sim.timeline.Timeline` resources and propagate explicit start
+and completion times.  This keeps full-network simulations tractable in pure
+Python while preserving the concurrency structure (double buffering,
+DMA/compute overlap, shared-resource contention) that the paper's FireSim
+experiments measure.
+"""
+
+from repro.sim.timeline import BandwidthTimeline, Timeline
+from repro.sim.stats import Counter, Histogram, RateWindow, StatsRegistry, TimeSeries
+from repro.sim.engine import lockstep_merge
+
+__all__ = [
+    "BandwidthTimeline",
+    "Timeline",
+    "Counter",
+    "Histogram",
+    "RateWindow",
+    "StatsRegistry",
+    "TimeSeries",
+    "lockstep_merge",
+]

@@ -1,0 +1,185 @@
+"""Statistics primitives: counters, histograms, rate windows, time series.
+
+Every architectural model exposes a :class:`StatsRegistry` so experiments can
+pull hit rates, miss traces, and utilisation without the models knowing what
+experiment they are part of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A histogram over integer-valued samples (e.g. latency in cycles)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: dict[int, int] = {}
+        self.total = 0
+        self.count = 0
+
+    def record(self, value: int, weight: int = 1) -> None:
+        self.buckets[value] = self.buckets.get(value, 0) + weight
+        self.total += value * weight
+        self.count += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self.buckets) if self.buckets else 0
+
+    @property
+    def min(self) -> int:
+        return min(self.buckets) if self.buckets else 0
+
+    def percentile(self, p: float) -> int:
+        """Return the smallest value v with P(sample <= v) >= p."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if not self.buckets:
+            return 0
+        threshold = p * self.count
+        running = 0
+        for value in sorted(self.buckets):
+            running += self.buckets[value]
+            if running >= threshold:
+                return value
+        return max(self.buckets)
+
+    def reset(self) -> None:
+        self.buckets.clear()
+        self.total = 0
+        self.count = 0
+
+
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> tuple[float, float]:
+        if not self.times:
+            raise IndexError("empty time series")
+        return self.times[-1], self.values[-1]
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.values.clear()
+
+
+class RateWindow:
+    """Windowed event-rate tracker (e.g. TLB miss rate of recent requests).
+
+    Records binary outcomes and emits the fraction of positive outcomes over
+    each window of ``window`` events into a :class:`TimeSeries`.  This is the
+    mechanism behind the paper's Figure 4 ("miss rate over recent requests").
+    """
+
+    def __init__(self, name: str, window: int = 256) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.window = window
+        self.series = TimeSeries(name)
+        self._hits_in_window = 0
+        self._seen_in_window = 0
+
+    def record(self, time: float, positive: bool, weight: int = 1) -> None:
+        if positive:
+            self._hits_in_window += weight
+        self._seen_in_window += weight
+        while self._seen_in_window >= self.window:
+            rate = min(1.0, self._hits_in_window / self._seen_in_window)
+            self.series.record(time, rate)
+            self._hits_in_window = 0
+            self._seen_in_window = 0
+
+    def flush(self, time: float) -> None:
+        """Emit a final partial window, if any events are pending."""
+        if self._seen_in_window:
+            self.series.record(time, self._hits_in_window / self._seen_in_window)
+            self._hits_in_window = 0
+            self._seen_in_window = 0
+
+    def reset(self) -> None:
+        self.series.reset()
+        self._hits_in_window = 0
+        self._seen_in_window = 0
+
+
+@dataclass
+class StatsRegistry:
+    """A namespace of counters/histograms/series owned by one component."""
+
+    owner: str = "stats"
+    counters: dict[str, Counter] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def value(self, name: str) -> int:
+        """Counter value, 0 if the counter was never touched."""
+        counter = self.counters.get(name)
+        return counter.value if counter else 0
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        den = self.value(denominator)
+        return self.value(numerator) / den if den else 0.0
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+        for series in self.series.values():
+            series.reset()
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: counter.value for name, counter in self.counters.items()}

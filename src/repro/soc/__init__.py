@@ -1,0 +1,25 @@
+"""SoC integration: host CPUs, the OS model, and full-SoC composition.
+
+Gemmini differentiates itself by generating *complete SoCs* rather than
+standalone accelerators (paper Section III-C): RISC-V host CPUs from
+low-power in-order Rocket cores to out-of-order BOOM cores, shared L2 and
+DRAM, and a Linux-capable software environment whose context switches flush
+accelerator TLB state.
+"""
+
+from repro.soc.cpu import BOOM, ROCKET, CPUModel, cpu_by_name
+from repro.soc.os_model import OSConfig, OSModel
+from repro.soc.soc import SoC, SoCConfig, SoCTile, make_soc
+
+__all__ = [
+    "BOOM",
+    "ROCKET",
+    "CPUModel",
+    "cpu_by_name",
+    "OSConfig",
+    "OSModel",
+    "SoC",
+    "SoCConfig",
+    "SoCTile",
+    "make_soc",
+]

@@ -1,0 +1,136 @@
+"""Full-SoC composition: CPU+accelerator tiles around shared L2 and DRAM.
+
+This is the paper's Figure 5 structure: each *tile* pairs one host CPU with
+one Gemmini-generated accelerator (private scratchpad/accumulator/TLB);
+all tiles share the system bus, the L2 cache, the DRAM channel, and —
+matching the Section V-A design point — optionally a single page-table
+walker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.accelerator import Accelerator
+from repro.core.config import GemminiConfig, default_config
+from repro.mem.hierarchy import MemorySystem, MemorySystemConfig
+from repro.mem.host_memory import HostMemory
+from repro.mem.page_table import VirtualMemory
+from repro.sim.timeline import Timeline
+from repro.soc.cpu import CPUModel, cpu_by_name
+from repro.soc.os_model import OSConfig, OSModel
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Parameters of the SoC surrounding the accelerator(s)."""
+
+    gemmini: GemminiConfig = field(default_factory=default_config)
+    mem: MemorySystemConfig = field(default_factory=MemorySystemConfig)
+    num_tiles: int = 1
+    cpu_names: tuple[str, ...] = ("rocket",)
+    os: OSConfig = field(default_factory=OSConfig)
+    #: one PTW shared across the whole SoC (else one per tile, still shared
+    #: between that tile's CPU and accelerator)
+    global_ptw: bool = True
+    #: scatter physical pages (long-running-Linux free-page fragmentation)
+    scattered_pages: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_tiles < 1:
+            raise ValueError("num_tiles must be >= 1")
+        if len(self.cpu_names) not in (1, self.num_tiles):
+            raise ValueError("cpu_names must have one entry or one per tile")
+
+
+class SoCTile:
+    """One CPU + accelerator pair with its own virtual address space."""
+
+    def __init__(
+        self,
+        index: int,
+        cpu: CPUModel,
+        accel: Accelerator,
+        vm: VirtualMemory,
+        host: HostMemory,
+        os_model: OSModel,
+    ) -> None:
+        self.index = index
+        self.name = f"tile{index}"
+        self.cpu = cpu
+        self.accel = accel
+        self.vm = vm
+        self.host = host
+        self.os = os_model
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SoCTile({self.index}, cpu={self.cpu.name})"
+
+
+class SoC:
+    """The composed system: tiles + shared memory substrate."""
+
+    def __init__(self, config: SoCConfig | None = None) -> None:
+        self.config = config or SoCConfig()
+        cfg = self.config
+        self.mem = MemorySystem(cfg.mem)
+        self._global_ptw = Timeline("soc.ptw") if cfg.global_ptw else None
+        self.tiles: list[SoCTile] = []
+        for index in range(cfg.num_tiles):
+            cpu_name = cfg.cpu_names[index if len(cfg.cpu_names) > 1 else 0]
+            cpu = cpu_by_name(cpu_name) if isinstance(cpu_name, str) else cpu_name
+            vm = VirtualMemory(
+                page_bytes=cfg.gemmini.tlb.page_bytes,
+                base=0x1000_0000 + index * 0x4000_0000,
+                scattered=cfg.scattered_pages,
+                asid=index,
+            )
+            host = HostMemory(page_bytes=cfg.gemmini.tlb.page_bytes)
+            ptw = self._global_ptw if self._global_ptw is not None else Timeline(
+                f"tile{index}.ptw"
+            )
+            accel = Accelerator(
+                cfg.gemmini,
+                mem=self.mem,
+                vm=vm,
+                host=host,
+                ptw=ptw,
+                name=f"gemmini{index}",
+            )
+            os_model = OSModel(cfg.os, name=f"os{index}")
+            self.tiles.append(SoCTile(index, cpu, accel, vm, host, os_model))
+
+    @property
+    def tile(self) -> SoCTile:
+        """The first tile (convenience for single-core SoCs)."""
+        return self.tiles[0]
+
+    def l2_miss_rate(self) -> float:
+        return self.mem.l2_miss_rate()
+
+    def reset(self) -> None:
+        self.mem.reset()
+        if self._global_ptw is not None:
+            self._global_ptw.reset()
+        for tile in self.tiles:
+            tile.accel.reset()
+            tile.os.reset()
+
+
+def make_soc(
+    gemmini: GemminiConfig | None = None,
+    mem: MemorySystemConfig | None = None,
+    num_tiles: int = 1,
+    cpu: str | CPUModel = "rocket",
+    os: OSConfig | None = None,
+) -> SoC:
+    """Convenience constructor used by examples and experiments."""
+    return SoC(
+        SoCConfig(
+            gemmini=gemmini or default_config(),
+            mem=mem or MemorySystemConfig(),
+            num_tiles=num_tiles,
+            cpu_names=(cpu,),
+            os=os or OSConfig(),
+        )
+    )

@@ -1,0 +1,38 @@
+"""The multi-level software stack (paper Section III-B).
+
+Two entry levels, mirroring Gemmini's flow:
+
+* **High level**: an ONNX-subset graph IR (:mod:`repro.sw.graph`,
+  :mod:`repro.sw.onnx_json`) compiled push-button onto the accelerator
+  (:mod:`repro.sw.compiler`) and executed by :mod:`repro.sw.runtime`.
+* **Low level**: tuned kernels (:mod:`repro.sw.kernels`) over runtime
+  tile-size heuristics (:mod:`repro.sw.tiling`), and raw RoCC intrinsics
+  (:mod:`repro.sw.lowlevel`) for hand-written programs.
+"""
+
+from repro.sw.tiling import MatmulTiling, plan_matmul_tiling
+from repro.sw.lowlevel import GemminiProgramBuilder
+from repro.sw.graph import Graph, Node, TensorSpec
+from repro.sw.onnx_json import graph_from_json, graph_to_json
+from repro.sw.compiler import CompiledModel, LayerPlan, Placement, compile_graph
+from repro.sw.runtime import LayerStats, Runtime, RunResult
+from repro.sw.profiler import RunProfiler
+
+__all__ = [
+    "MatmulTiling",
+    "plan_matmul_tiling",
+    "GemminiProgramBuilder",
+    "Graph",
+    "Node",
+    "TensorSpec",
+    "graph_from_json",
+    "graph_to_json",
+    "CompiledModel",
+    "LayerPlan",
+    "Placement",
+    "compile_graph",
+    "LayerStats",
+    "Runtime",
+    "RunResult",
+    "RunProfiler",
+]

@@ -1,0 +1,46 @@
+"""CPU-only reference execution cost: the Figure 7 baseline.
+
+The paper's speedups are measured against the same DNN running entirely on
+the host CPU (in-order Rocket for the headline numbers, out-of-order BOOM
+for comparison).  This module walks a graph and totals the host cost of
+every operator using the CPU's per-kernel cost model.
+"""
+
+from __future__ import annotations
+
+from repro.soc.cpu import CPUModel
+from repro.sw.graph import Graph, Node
+
+
+def cpu_node_cycles(graph: Graph, node: Node, cpu: CPUModel) -> float:
+    """Host-CPU cycles to execute one operator naively."""
+    op = node.op
+    out = graph.tensor(node.outputs[0])
+    if op == "Conv":
+        return cpu.conv_cycles(graph.node_macs(node))
+    if op == "DepthwiseConv":
+        return cpu.dwconv_cycles(graph.node_macs(node))
+    if op in ("Gemm", "MatMul"):
+        return cpu.matmul_cycles(graph.node_macs(node))
+    if op in ("Add", "Relu", "Relu6", "BatchNorm"):
+        return cpu.elementwise_cycles(out.elements)
+    if op in ("MaxPool", "AveragePool", "GlobalAveragePool"):
+        src = graph.tensor(node.inputs[0])
+        return cpu.pool_cycles(src.elements)
+    if op == "Softmax":
+        return cpu.softmax_cycles(out.elements * node.attrs.get("batch", 1))
+    if op == "LayerNorm":
+        return cpu.layernorm_cycles(out.elements)
+    if op == "Gelu":
+        return cpu.gelu_cycles(out.elements)
+    if op in ("Flatten", "Reshape", "Concat"):
+        return 0.0
+    raise ValueError(f"no CPU cost rule for op {op!r}")
+
+
+def cpu_graph_cycles(graph: Graph, cpu: CPUModel) -> float:
+    """Total host-CPU cycles for one full inference of ``graph``."""
+    total = 0.0
+    for node in graph.nodes:
+        total += cpu_node_cycles(graph, node, cpu) + cpu.dispatch_cycles
+    return total

@@ -1,0 +1,304 @@
+"""An ONNX-subset graph IR with shape inference and cost accounting.
+
+The paper's push-button flow "reads DNN descriptions in the ONNX file
+format and generates software binaries" (Section III-B).  The offline
+environment has no ``onnx`` package, so this module defines the subset of
+the format the five evaluated networks need: a flat graph of nodes over
+named tensors, shape inference per operator, and MAC/parameter accounting.
+JSON (de)serialisation lives in :mod:`repro.sw.onnx_json`.
+
+Activations use channels-last layout ``(H, W, C)`` with an implicit batch of
+one; transformer tensors are 2-D ``(sequence, hidden)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Operators the IR understands, with their placement affinity.
+SUPPORTED_OPS = (
+    "Conv",
+    "DepthwiseConv",
+    "Gemm",
+    "MatMul",
+    "Add",
+    "Relu",
+    "Relu6",
+    "Gelu",
+    "MaxPool",
+    "AveragePool",
+    "GlobalAveragePool",
+    "BatchNorm",
+    "Flatten",
+    "Reshape",
+    "Concat",
+    "Softmax",
+    "LayerNorm",
+)
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor: shape, dtype, and whether it is a weight."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "int8"
+    is_weight: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor needs a name")
+        if any(d < 1 for d in self.shape):
+            raise ValueError(f"tensor {self.name}: non-positive dim in {self.shape}")
+
+    @property
+    def elements(self) -> int:
+        count = 1
+        for d in self.shape:
+            count *= d
+        return count
+
+
+@dataclass
+class Node:
+    """One operator instance."""
+
+    name: str
+    op: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in SUPPORTED_OPS:
+            raise ValueError(f"unsupported op {self.op!r} (node {self.name})")
+
+
+class GraphError(Exception):
+    """Raised for malformed graphs (missing tensors, bad shapes)."""
+
+
+class Graph:
+    """A topologically ordered operator graph."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.tensors: dict[str, TensorSpec] = {}
+        self.nodes: list[Node] = []
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                         #
+    # ------------------------------------------------------------------ #
+
+    def add_input(self, name: str, shape: tuple[int, ...], dtype: str = "int8") -> TensorSpec:
+        spec = TensorSpec(name, tuple(shape), dtype)
+        self._register(spec)
+        self.inputs.append(name)
+        return spec
+
+    def add_weight(self, name: str, shape: tuple[int, ...], dtype: str = "int8") -> TensorSpec:
+        spec = TensorSpec(name, tuple(shape), dtype, is_weight=True)
+        self._register(spec)
+        return spec
+
+    def mark_output(self, name: str) -> None:
+        if name not in self.tensors:
+            raise GraphError(f"cannot mark unknown tensor {name!r} as output")
+        self.outputs.append(name)
+
+    def _register(self, spec: TensorSpec) -> None:
+        if spec.name in self.tensors:
+            raise GraphError(f"duplicate tensor {spec.name!r}")
+        self.tensors[spec.name] = spec
+
+    def add_node(
+        self,
+        op: str,
+        name: str,
+        inputs: list[str],
+        output: str,
+        attrs: dict | None = None,
+        out_dtype: str | None = None,
+    ) -> TensorSpec:
+        """Append a node; infers and registers its output tensor's shape."""
+        for tensor in inputs:
+            if tensor not in self.tensors:
+                raise GraphError(f"node {name!r}: unknown input {tensor!r}")
+        attrs = dict(attrs or {})
+        node = Node(name=name, op=op, inputs=list(inputs), outputs=[output], attrs=attrs)
+        shape = infer_shape(self, node)
+        dtype = out_dtype or self.tensors[inputs[0]].dtype
+        spec = TensorSpec(output, shape, dtype)
+        self._register(spec)
+        self.nodes.append(node)
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                              #
+    # ------------------------------------------------------------------ #
+
+    def tensor(self, name: str) -> TensorSpec:
+        try:
+            return self.tensors[name]
+        except KeyError:
+            raise GraphError(f"unknown tensor {name!r}") from None
+
+    def node_macs(self, node: Node) -> int:
+        return count_macs(self, node)
+
+    def total_macs(self) -> int:
+        return sum(count_macs(self, node) for node in self.nodes)
+
+    def total_weight_bytes(self) -> int:
+        bytes_per = {"int8": 1, "int16": 2, "int32": 4, "fp32": 4, "bf16": 2}
+        return sum(
+            t.elements * bytes_per.get(t.dtype, 1)
+            for t in self.tensors.values()
+            if t.is_weight
+        )
+
+    def op_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Check topological ordering and output reachability."""
+        produced = set(self.inputs) | {
+            t.name for t in self.tensors.values() if t.is_weight
+        }
+        for node in self.nodes:
+            for tensor in node.inputs:
+                if tensor not in produced:
+                    raise GraphError(
+                        f"node {node.name!r} consumes {tensor!r} before production"
+                    )
+            produced.update(node.outputs)
+        for output in self.outputs:
+            if output not in produced:
+                raise GraphError(f"graph output {output!r} is never produced")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph({self.name!r}, {len(self.nodes)} nodes)"
+
+
+# ---------------------------------------------------------------------- #
+# Shape inference                                                         #
+# ---------------------------------------------------------------------- #
+
+
+def _conv_out_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> tuple[int, int]:
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if oh < 1 or ow < 1:
+        raise GraphError(f"convolution output empty for {h}x{w} k={kernel}")
+    return oh, ow
+
+
+def infer_shape(graph: Graph, node: Node) -> tuple[int, ...]:
+    """Output shape of ``node`` given its registered input tensors."""
+    op = node.op
+    a = graph.tensor(node.inputs[0])
+
+    if op in ("Conv", "DepthwiseConv"):
+        if len(a.shape) != 3:
+            raise GraphError(f"{op} input must be (H, W, C), got {a.shape}")
+        h, w, c = a.shape
+        kernel = node.attrs.get("kernel", 1)
+        stride = node.attrs.get("stride", 1)
+        padding = node.attrs.get("padding", 0)
+        oh, ow = _conv_out_hw(h, w, kernel, stride, padding)
+        if op == "DepthwiseConv":
+            return (oh, ow, c)
+        out_ch = node.attrs["out_ch"]
+        return (oh, ow, out_ch)
+
+    if op in ("Gemm", "MatMul"):
+        if len(node.inputs) < 2:
+            raise GraphError(f"{op} needs an activation and a weight input")
+        b = graph.tensor(node.inputs[1])
+        if len(a.shape) != 2 or len(b.shape) != 2:
+            raise GraphError(f"{op} operands must be 2-D, got {a.shape} @ {b.shape}")
+        if a.shape[1] != b.shape[0]:
+            raise GraphError(f"{op} inner dims differ: {a.shape} @ {b.shape}")
+        return (a.shape[0], b.shape[1])
+
+    if op == "Add":
+        b = graph.tensor(node.inputs[1])
+        if a.shape != b.shape:
+            raise GraphError(f"Add shapes differ: {a.shape} vs {b.shape}")
+        return a.shape
+
+    if op in ("Relu", "Relu6", "Gelu", "BatchNorm", "Softmax", "LayerNorm"):
+        return a.shape
+
+    if op in ("MaxPool", "AveragePool"):
+        if len(a.shape) != 3:
+            raise GraphError(f"{op} input must be (H, W, C)")
+        h, w, c = a.shape
+        kernel = node.attrs.get("kernel", 2)
+        stride = node.attrs.get("stride", kernel)
+        padding = node.attrs.get("padding", 0)
+        oh, ow = _conv_out_hw(h, w, kernel, stride, padding)
+        return (oh, ow, c)
+
+    if op == "GlobalAveragePool":
+        if len(a.shape) != 3:
+            raise GraphError("GlobalAveragePool input must be (H, W, C)")
+        return (1, 1, a.shape[2])
+
+    if op == "Flatten":
+        return (1, a.elements)
+
+    if op == "Reshape":
+        target = tuple(node.attrs["shape"])
+        count = 1
+        for d in target:
+            count *= d
+        if count != a.elements:
+            raise GraphError(f"Reshape {a.shape} -> {target} changes element count")
+        return target
+
+    if op == "Concat":
+        axis = node.attrs.get("axis", -1)
+        shapes = [graph.tensor(t).shape for t in node.inputs]
+        base = list(shapes[0])
+        axis = axis % len(base)
+        for other in shapes[1:]:
+            if len(other) != len(base):
+                raise GraphError("Concat rank mismatch")
+            for i, (x, y) in enumerate(zip(base, other)):
+                if i != axis and x != y:
+                    raise GraphError("Concat non-axis dims differ")
+        base[axis] = sum(s[axis] for s in shapes)
+        return tuple(base)
+
+    raise GraphError(f"no shape rule for op {op!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Cost accounting                                                         #
+# ---------------------------------------------------------------------- #
+
+
+def count_macs(graph: Graph, node: Node) -> int:
+    """Multiply-accumulates performed by ``node`` (0 for data movement)."""
+    op = node.op
+    if op == "Conv":
+        a = graph.tensor(node.inputs[0])
+        out = graph.tensor(node.outputs[0])
+        kernel = node.attrs.get("kernel", 1)
+        return out.shape[0] * out.shape[1] * out.shape[2] * kernel * kernel * a.shape[2]
+    if op == "DepthwiseConv":
+        out = graph.tensor(node.outputs[0])
+        kernel = node.attrs.get("kernel", 1)
+        return out.elements * kernel * kernel
+    if op in ("Gemm", "MatMul"):
+        a = graph.tensor(node.inputs[0])
+        out = graph.tensor(node.outputs[0])
+        return a.shape[0] * a.shape[1] * out.shape[1]
+    return 0

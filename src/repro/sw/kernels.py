@@ -1,0 +1,519 @@
+"""Tuned accelerator kernels: tiled matmul, conv, residual-add, pooling.
+
+Each kernel lowers one layer into *macro-ops* for the accelerator's
+decoupled controller: DMA loads and stores run real address streams through
+the TLB and shared L2 (so translation and cache behaviour are exact), while
+compute ops carry closed-form cycle costs from the spatial-array model (the
+closed forms are property-tested against the ISA-level simulator).  The
+double-buffered loop structure mirrors Gemmini's tuned C library: loads of
+iteration *n+1* overlap the matmul of iteration *n* through the scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.config import Dataflow
+from repro.core.controller import Op
+from repro.core.generator import SoftwareParams
+from repro.core.peripherals import ConvParams, PoolParams
+from repro.core.spatial_array import SpatialArrayModel
+from repro.soc.soc import SoCTile
+from repro.sw.tiling import MatmulTiling, plan_matmul_tiling
+
+
+@dataclass
+class KernelResult:
+    """Timing summary of one kernel executed on a tile."""
+
+    start_time: float
+    end_time: float
+    ops_issued: int
+    macs: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    @property
+    def cycles(self) -> float:
+        return self.end_time - self.start_time
+
+
+class TileKernels:
+    """Kernel library bound to one SoC tile (CPU + accelerator pair)."""
+
+    #: fixed controller overhead charged per macro compute op (loop
+    #: bookkeeping and RoCC issue of the hardware-loop commands)
+    issue_overhead: float = 8.0
+
+    def __init__(self, tile: SoCTile) -> None:
+        self.tile = tile
+        self.accel = tile.accel
+        self.params = SoftwareParams.from_config(self.accel.config)
+        self.model = SpatialArrayModel(self.accel.config)
+        self.dim = self.accel.config.dim
+        self._dataflow = (
+            Dataflow.WS
+            if self.accel.config.dataflow.supports(Dataflow.WS)
+            else Dataflow.OS
+        )
+
+    # ------------------------------------------------------------------ #
+    # DMA macro-op helpers                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _load_op(
+        self,
+        vaddr: int,
+        bytes_per_row: int,
+        nrows: int,
+        stride: int,
+        writes: tuple,
+        reads: tuple = (),
+        label: str = "load",
+        traffic: str = "",
+    ) -> Op:
+        dma = self.accel.dma
+        requester = f"{self.accel.name}.{traffic}" if traffic else self.accel.name
+
+        def run(start: float) -> float:
+            return dma.transfer(
+                start, vaddr, bytes_per_row, nrows, stride, False, requester
+            ).end_time
+
+        return Op(unit="load", run=run, reads=reads, writes=writes, label=label)
+
+    def _store_op(
+        self,
+        vaddr: int,
+        bytes_per_row: int,
+        nrows: int,
+        stride: int,
+        reads: tuple,
+        writes: tuple = (),
+        label: str = "store",
+        traffic: str = "",
+    ) -> Op:
+        dma = self.accel.dma
+        requester = f"{self.accel.name}.{traffic}" if traffic else self.accel.name
+
+        def run(start: float) -> float:
+            return dma.transfer(
+                start, vaddr, bytes_per_row, nrows, stride, True, requester
+            ).end_time
+
+        return Op(unit="store", run=run, reads=reads, writes=writes, label=label)
+
+    def _exec_op(self, cycles: float, reads: tuple, writes: tuple, label: str = "exec") -> Op:
+        return Op(
+            unit="exec",
+            cycles=cycles + self.issue_overhead,
+            reads=reads,
+            writes=writes,
+            write_latency=float(self.model.fill_latency),
+            label=label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Tiled matmul                                                         #
+    # ------------------------------------------------------------------ #
+
+    def matmul_ops(
+        self,
+        a_vaddr: int,
+        b_vaddr: int,
+        c_vaddr: int,
+        m: int,
+        k: int,
+        n: int,
+        elem_bytes: int = 1,
+        out_bytes: int = 1,
+        bias_vaddr: int | None = None,
+        tiling: MatmulTiling | None = None,
+        a_token: object = None,
+        b_token: object = None,
+        c_token: object = None,
+        a_bytes_scale: float = 1.0,
+        c_rows_scale: float = 1.0,
+        store_extra_cycles: float = 0.0,
+        label: str = "matmul",
+    ) -> Iterator[Op]:
+        """Yield the macro-op stream of a blocked ``m x k @ k x n`` matmul.
+
+        ``a_bytes_scale`` shrinks the A-side DMA traffic; the on-the-fly
+        im2col unit uses it to stream raw convolution inputs instead of the
+        k^2-amplified patch matrix.
+        """
+        t = tiling or plan_matmul_tiling(self.params, m, k, n)
+        # When the on-the-fly im2col unit feeds the array (a_bytes_scale =
+        # 1/k^2), the A-side DMA walks the *raw input tensor*, not the
+        # virtual patch matrix: offsets, row bytes and stride all shrink by
+        # the patch-amplification factor so the stream stays inside the
+        # input allocation.
+        a_stride = max(1, int(k * elem_bytes * a_bytes_scale))
+        b_stride = n * elem_bytes
+        c_stride = n * out_bytes
+
+        for i0 in range(t.outer_i):
+            for j0 in range(t.outer_j):
+                c_buf = ("C", label, (i0 * t.outer_j + j0) % 2)
+                if bias_vaddr is not None:
+                    # Bias row broadcast into the accumulator tile.
+                    m_cur, __, n_cur = t.clipped(i0, j0, 0)
+                    yield self._load_op(
+                        bias_vaddr + j0 * t.tile_n * 4,
+                        bytes_per_row=n_cur * 4,
+                        nrows=1,
+                        stride=n_cur * 4,
+                        writes=(c_buf,),
+                        reads=(("t", bias_vaddr),),
+                        label=f"{label}.bias",
+                    )
+                for k0 in range(t.outer_k):
+                    m_cur, k_cur, n_cur = t.clipped(i0, j0, k0)
+                    parity = (i0 * t.outer_k + k0) % 2
+                    a_buf = ("A", label, parity)
+                    b_buf = ("B", label, (j0 * t.outer_k + k0) % 2)
+
+                    a_tile_vaddr = a_vaddr + int(
+                        (i0 * t.tile_m * k + k0 * t.tile_k) * elem_bytes * a_bytes_scale
+                    )
+                    a_row_bytes = max(1, int(k_cur * elem_bytes * a_bytes_scale))
+                    yield self._load_op(
+                        a_tile_vaddr,
+                        bytes_per_row=a_row_bytes,
+                        nrows=m_cur,
+                        stride=a_stride,
+                        writes=(a_buf,),
+                        reads=(("t", a_token),) if a_token is not None else (),
+                        label=f"{label}.ldA",
+                    )
+                    b_tile_vaddr = b_vaddr + (k0 * t.tile_k * n + j0 * t.tile_n) * elem_bytes
+                    yield self._load_op(
+                        b_tile_vaddr,
+                        bytes_per_row=n_cur * elem_bytes,
+                        nrows=k_cur,
+                        stride=b_stride,
+                        writes=(b_buf,),
+                        reads=(("t", b_token),) if b_token is not None else (),
+                        label=f"{label}.ldB",
+                    )
+                    cost = self.model.matmul_cost(m_cur, k_cur, n_cur, self._dataflow)
+                    yield self._exec_op(
+                        cost.total,
+                        reads=(a_buf, b_buf),
+                        writes=(c_buf,),
+                        label=f"{label}.ex",
+                    )
+                m_cur, __, n_cur = t.clipped(i0, j0, 0)
+                store_rows = max(1, int(m_cur * c_rows_scale))
+                c_tile_vaddr = c_vaddr + int(
+                    (i0 * t.tile_m * c_rows_scale) * n + j0 * t.tile_n
+                ) * out_bytes
+                if store_extra_cycles:
+                    # Fused pooling occupies the store pipeline before the
+                    # (shrunken) result leaves for DRAM.
+                    yield Op(
+                        unit="store",
+                        cycles=store_extra_cycles / max(1, t.outer_i * t.outer_j),
+                        reads=(c_buf,),
+                        label=f"{label}.pool",
+                    )
+                yield self._store_op(
+                    c_tile_vaddr,
+                    bytes_per_row=n_cur * out_bytes,
+                    nrows=store_rows,
+                    stride=c_stride,
+                    reads=(c_buf,),
+                    writes=(("t", c_token),) if c_token is not None else (),
+                    label=f"{label}.st",
+                )
+
+    # ------------------------------------------------------------------ #
+    # Convolution (im2col lowering)                                        #
+    # ------------------------------------------------------------------ #
+
+    def conv_ops(
+        self,
+        conv: ConvParams,
+        input_vaddr: int,
+        weight_vaddr: int,
+        output_vaddr: int,
+        bias_vaddr: int | None = None,
+        on_accel_im2col: bool | None = None,
+        im2col_vaddr: int | None = None,
+        in_token: object = None,
+        w_token: object = None,
+        out_token: object = None,
+        c_rows_scale: float = 1.0,
+        store_extra_cycles: float = 0.0,
+        label: str = "conv",
+    ) -> tuple[Iterator[Op], float]:
+        """Lower a convolution; returns (accelerator ops, CPU pre-cycles).
+
+        With the on-the-fly im2col unit, the patch matrix is generated as
+        inputs stream from the scratchpad: A-side DMA moves only the raw
+        input pixels and the CPU does no work.  Without it, the host CPU
+        materialises the patch matrix first (the returned CPU cycles), and
+        the accelerator streams the k^2-amplified matrix from DRAM.
+        """
+        if on_accel_im2col is None:
+            on_accel_im2col = self.params.has_im2col
+        m = conv.num_patches
+        k = conv.patch_size
+        n = conv.out_ch
+
+        if on_accel_im2col:
+            ops = self.matmul_ops(
+                input_vaddr,
+                weight_vaddr,
+                output_vaddr,
+                m,
+                k,
+                n,
+                bias_vaddr=bias_vaddr,
+                a_token=in_token,
+                b_token=w_token,
+                c_token=out_token,
+                a_bytes_scale=1.0 / (conv.kernel * conv.kernel),
+                c_rows_scale=c_rows_scale,
+                store_extra_cycles=store_extra_cycles,
+                label=label,
+            )
+            return ops, 0.0
+
+        # CPU-side im2col into a scratch DRAM buffer, then a plain matmul.
+        cpu_cycles = self.tile.cpu.im2col_cycles(m * k)
+        a_vaddr = im2col_vaddr if im2col_vaddr is not None else input_vaddr
+        ops = self.matmul_ops(
+            a_vaddr,
+            weight_vaddr,
+            output_vaddr,
+            m,
+            k,
+            n,
+            bias_vaddr=bias_vaddr,
+            a_token=("im2col", label),
+            b_token=w_token,
+            c_token=out_token,
+            c_rows_scale=c_rows_scale,
+            store_extra_cycles=store_extra_cycles,
+            label=label,
+        )
+        return ops, cpu_cycles
+
+    # ------------------------------------------------------------------ #
+    # Depthwise convolution                                                #
+    # ------------------------------------------------------------------ #
+
+    def dwconv_ops(
+        self,
+        conv: ConvParams,
+        input_vaddr: int,
+        weight_vaddr: int,
+        output_vaddr: int,
+        in_token: object = None,
+        w_token: object = None,
+        out_token: object = None,
+        label: str = "dwconv",
+    ) -> Iterator[Op]:
+        """Depthwise convolution: one tiny matmul per channel.
+
+        Each channel's matmul is ``(out_h*out_w) x k^2 @ k^2 x 1`` — almost
+        no reuse, so the spatial array runs at a few percent utilisation.
+        This is exactly the paper's MobileNetV2 observation.
+        """
+        channels = conv.in_ch
+        m = conv.num_patches
+        kk = conv.kernel * conv.kernel
+        per_channel = self.model.matmul_cost(m, kk, 1, self._dataflow).total
+
+        # Tile channels so each group's I/O fits a scratchpad half.
+        bytes_per_channel = conv.in_h * conv.in_w
+        sp_half_bytes = self.params.sp_capacity_bytes // 2
+        group = max(1, min(channels, sp_half_bytes // max(1, bytes_per_channel)))
+        done = 0
+        index = 0
+        while done < channels:
+            count = min(group, channels - done)
+            in_buf = ("dwA", label, index % 2)
+            out_buf = ("dwC", label, index % 2)
+            in_bytes = count * bytes_per_channel
+            rows = max(1, conv.in_h)
+            yield self._load_op(
+                input_vaddr + done * bytes_per_channel,
+                bytes_per_row=max(1, in_bytes // rows),
+                nrows=rows,
+                stride=max(1, in_bytes // rows),
+                writes=(in_buf,),
+                reads=(("t", in_token),) if in_token is not None else (),
+                label=f"{label}.ld",
+            )
+            yield self._load_op(
+                weight_vaddr + done * kk,
+                bytes_per_row=kk,
+                nrows=count,
+                stride=kk,
+                writes=((label, "w"),),
+                reads=(("t", w_token),) if w_token is not None else (),
+                label=f"{label}.ldw",
+            )
+            yield self._exec_op(
+                per_channel * count,
+                reads=(in_buf, (label, "w")),
+                writes=(out_buf,),
+                label=f"{label}.ex",
+            )
+            out_bytes = count * conv.out_h * conv.out_w
+            out_rows = max(1, conv.out_h)
+            yield self._store_op(
+                output_vaddr + done * conv.out_h * conv.out_w,
+                bytes_per_row=max(1, out_bytes // out_rows),
+                nrows=out_rows,
+                stride=max(1, out_bytes // out_rows),
+                reads=(out_buf,),
+                writes=(("t", out_token),) if out_token is not None else (),
+                label=f"{label}.st",
+            )
+            done += count
+            index += 1
+
+    # ------------------------------------------------------------------ #
+    # Residual addition                                                    #
+    # ------------------------------------------------------------------ #
+
+    def resadd_ops(
+        self,
+        x_vaddr: int,
+        y_vaddr: int,
+        out_vaddr: int,
+        elements: int,
+        x_token: object = None,
+        y_token: object = None,
+        out_token: object = None,
+        label: str = "resadd",
+    ) -> Iterator[Op]:
+        """Elementwise add through the accumulator (paper Section V-B).
+
+        Almost no data reuse: every element is loaded twice and stored once,
+        so the kernel is memory-bound and its performance tracks whether the
+        operands are still resident in the shared L2.
+        """
+        if elements <= 0:
+            raise ValueError("resadd needs at least one element")
+        row_bytes = 512
+        acc_tile_bytes = (self.params.acc_rows // 2) * self.dim * 4
+        tile_elems = max(row_bytes, (acc_tile_bytes // 4 // row_bytes) * row_bytes)
+        offset = 0
+        index = 0
+        while offset < elements:
+            count = min(tile_elems, elements - offset)
+            rows = max(1, count // row_bytes)
+            per_row = -(-count // rows)
+            acc_buf = (label, index % 2)
+            yield self._load_op(
+                x_vaddr + offset,
+                bytes_per_row=per_row,
+                nrows=rows,
+                stride=per_row,
+                writes=(acc_buf,),
+                reads=(("t", x_token),) if x_token is not None else (),
+                label=f"{label}.ldx",
+                traffic="resadd_x",
+            )
+            yield self._load_op(
+                y_vaddr + offset,
+                bytes_per_row=per_row,
+                nrows=rows,
+                stride=per_row,
+                writes=(acc_buf,),
+                reads=(("t", y_token),) if y_token is not None else (),
+                label=f"{label}.ldy",
+                traffic="resadd_y",
+            )
+            yield self._store_op(
+                out_vaddr + offset,
+                bytes_per_row=per_row,
+                nrows=rows,
+                stride=per_row,
+                reads=(acc_buf,),
+                writes=(("t", out_token),) if out_token is not None else (),
+                label=f"{label}.st",
+                traffic="resadd_st",
+            )
+            offset += count
+            index += 1
+
+    # ------------------------------------------------------------------ #
+    # Pooling                                                              #
+    # ------------------------------------------------------------------ #
+
+    def pool_cycles(self, pool: PoolParams, channels: int) -> float:
+        """Extra MVOUT cycles when max-pooling is fused into the store."""
+        if self.accel.pooling is None:
+            raise ValueError("this instance has no pooling engine")
+        return float(self.accel.pooling.cycles(pool, channels))
+
+    def pool_ops(
+        self,
+        pool: PoolParams,
+        channels: int,
+        input_vaddr: int,
+        output_vaddr: int,
+        in_token: object = None,
+        out_token: object = None,
+        label: str = "pool",
+    ) -> Iterator[Op]:
+        """Standalone max-pool: stream in, pool in the engine, stream out."""
+        in_elems = pool.in_h * pool.in_w * channels
+        out_elems = pool.out_h * pool.out_w * channels
+        in_rows = max(1, pool.in_h)
+        out_rows = max(1, pool.out_h)
+        buf = (label, "buf")
+        yield self._load_op(
+            input_vaddr,
+            bytes_per_row=max(1, in_elems // in_rows),
+            nrows=in_rows,
+            stride=max(1, in_elems // in_rows),
+            writes=(buf,),
+            reads=(("t", in_token),) if in_token is not None else (),
+            label=f"{label}.ld",
+        )
+        yield self._exec_op(
+            self.pool_cycles(pool, channels),
+            reads=(buf,),
+            writes=((label, "out"),),
+            label=f"{label}.ex",
+        )
+        yield self._store_op(
+            output_vaddr,
+            bytes_per_row=max(1, out_elems // out_rows),
+            nrows=out_rows,
+            stride=max(1, out_elems // out_rows),
+            reads=((label, "out"),),
+            writes=(("t", out_token),) if out_token is not None else (),
+            label=f"{label}.st",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience single-shot execution                                    #
+    # ------------------------------------------------------------------ #
+
+    def run_ops(self, ops) -> KernelResult:
+        """Issue an op stream on the tile's controller and drain."""
+        controller = self.accel.controller
+        start = controller.now
+        count = 0
+        for op in ops:
+            controller.issue(op)
+            count += 1
+        end = controller.drain()
+        return KernelResult(start_time=start, end_time=end, ops_issued=count)
+
+    def run_matmul(self, a_vaddr, b_vaddr, c_vaddr, m, k, n, **kwargs) -> KernelResult:
+        result = self.run_ops(self.matmul_ops(a_vaddr, b_vaddr, c_vaddr, m, k, n, **kwargs))
+        result.macs = m * k * n
+        return result
+
+    def run_resadd(self, x_vaddr, y_vaddr, out_vaddr, elements, **kwargs) -> KernelResult:
+        return self.run_ops(self.resadd_ops(x_vaddr, y_vaddr, out_vaddr, elements, **kwargs))

@@ -1,0 +1,159 @@
+"""The low-level programming interface (the ``gemmini.h`` analogue).
+
+"The generated accelerator can also be programmed through C/C++ APIs, with
+tuned functions for common DNN kernels" (Section III-B).  This module is
+that layer: a builder of raw RoCC instruction streams with the same
+intrinsic names as ``gemmini.h``, plus a tuned ``tiled_matmul_auto`` that
+emits a complete blocked matmul at instruction granularity — used by tests
+to cross-check the macro-level cost model against ISA-level execution.
+"""
+
+from __future__ import annotations
+
+from repro.core import isa
+from repro.core.config import GemminiConfig
+from repro.core.isa import Instruction, LocalAddr
+
+
+class GemminiProgramBuilder:
+    """Accumulates an instruction stream through intrinsic-style calls."""
+
+    def __init__(self, config: GemminiConfig) -> None:
+        self.config = config
+        self.dim = config.dim
+        self.instructions: list[Instruction] = []
+
+    # -- raw intrinsics --------------------------------------------------- #
+
+    def config_ex(self, **kwargs) -> "GemminiProgramBuilder":
+        self.instructions.append(isa.config_ex(**kwargs))
+        return self
+
+    def config_ld(self, stride_bytes: int, **kwargs) -> "GemminiProgramBuilder":
+        self.instructions.append(isa.config_ld(stride_bytes, **kwargs))
+        return self
+
+    def config_st(self, stride_bytes: int, **kwargs) -> "GemminiProgramBuilder":
+        self.instructions.append(isa.config_st(stride_bytes, **kwargs))
+        return self
+
+    def mvin(self, dram_vaddr: int, local: LocalAddr, cols: int, rows: int):
+        self.instructions.append(isa.mvin(dram_vaddr, local, cols, rows))
+        return self
+
+    def mvout(self, dram_vaddr: int, local: LocalAddr, cols: int, rows: int):
+        self.instructions.append(isa.mvout(dram_vaddr, local, cols, rows))
+        return self
+
+    def preload(self, b: LocalAddr, c: LocalAddr, b_cols, b_rows, c_cols, c_rows):
+        self.instructions.append(isa.preload(b, c, b_cols, b_rows, c_cols, c_rows))
+        return self
+
+    def compute_preloaded(self, a: LocalAddr, bd: LocalAddr, a_cols, a_rows, bd_cols, bd_rows):
+        self.instructions.append(
+            isa.compute_preloaded(a, bd, a_cols, a_rows, bd_cols, bd_rows)
+        )
+        return self
+
+    def compute_accumulated(self, a: LocalAddr, bd: LocalAddr, a_cols, a_rows, bd_cols, bd_rows):
+        self.instructions.append(
+            isa.compute_accumulate(a, bd, a_cols, a_rows, bd_cols, bd_rows)
+        )
+        return self
+
+    def fence(self) -> "GemminiProgramBuilder":
+        self.instructions.append(isa.fence())
+        return self
+
+    def flush(self) -> "GemminiProgramBuilder":
+        self.instructions.append(isa.flush())
+        return self
+
+    def build(self) -> list[Instruction]:
+        return list(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- tuned kernels ----------------------------------------------------- #
+
+    def tiled_matmul_auto(
+        self,
+        a_vaddr: int,
+        b_vaddr: int,
+        c_vaddr: int,
+        m: int,
+        k: int,
+        n: int,
+        activation: int = 0,
+        acc_scale: float = 1.0,
+    ) -> "GemminiProgramBuilder":
+        """Emit a complete blocked WS matmul (operands fit the scratchpad).
+
+        Layout: A blocks first in the scratchpad, then B blocks; C tiles
+        accumulate in the accumulator and stream out at the end.  Raises if
+        the working set exceeds the local memories — the caller should fall
+        back to the macro-level kernels for larger problems.
+        """
+        dim = self.dim
+        elem = self.config.input_type.bytes
+        mb = -(-m // dim)
+        kb = -(-k // dim)
+        nb = -(-n // dim)
+        a_rows_needed = mb * kb * dim
+        b_rows_needed = kb * nb * dim
+        if a_rows_needed + b_rows_needed > self.config.sp_rows:
+            raise ValueError("operands exceed scratchpad; use macro kernels")
+        if mb * nb * dim > self.config.acc_rows:
+            raise ValueError("result exceeds accumulator; use macro kernels")
+
+        self.config_ex(dataflow_ws=True, activation=activation, acc_scale=acc_scale)
+        self.config_ld(stride_bytes=k * elem)
+
+        # Stage A blocks: block (i, kk) at rows (i*kb + kk)*dim.
+        for i in range(mb):
+            rows = min(dim, m - i * dim)
+            for kk in range(kb):
+                cols = min(dim, k - kk * dim)
+                vaddr = a_vaddr + (i * dim * k + kk * dim) * elem
+                self.mvin(vaddr, LocalAddr.sp((i * kb + kk) * dim), cols, rows)
+
+        # Stage B blocks after the A region: block (kk, j).
+        self.config_ld(stride_bytes=n * elem)
+        b_base = a_rows_needed
+        for kk in range(kb):
+            rows = min(dim, k - kk * dim)
+            for j in range(nb):
+                cols = min(dim, n - j * dim)
+                vaddr = b_vaddr + (kk * dim * n + j * dim) * elem
+                self.mvin(vaddr, LocalAddr.sp(b_base + (kk * nb + j) * dim), cols, rows)
+
+        # Compute: C[i, j] = sum_kk A[i, kk] @ B[kk, j].
+        for i in range(mb):
+            a_rows = min(dim, m - i * dim)
+            for j in range(nb):
+                c_cols = min(dim, n - j * dim)
+                for kk in range(kb):
+                    a_cols = min(dim, k - kk * dim)
+                    b_addr = LocalAddr.sp(b_base + (kk * nb + j) * dim)
+                    c_addr = LocalAddr.acc((i * nb + j) * dim, accumulate=kk > 0)
+                    self.preload(b_addr, c_addr, c_cols, a_cols, c_cols, a_rows)
+                    self.compute_preloaded(
+                        LocalAddr.sp((i * kb + kk) * dim),
+                        LocalAddr.garbage_addr(),
+                        a_cols,
+                        a_rows,
+                        0,
+                        0,
+                    )
+
+        # Stream results out.
+        self.config_st(stride_bytes=n * elem)
+        for i in range(mb):
+            rows = min(dim, m - i * dim)
+            for j in range(nb):
+                cols = min(dim, n - j * dim)
+                vaddr = c_vaddr + (i * dim * n + j * dim) * elem
+                self.mvout(vaddr, LocalAddr.acc((i * nb + j) * dim), cols, rows)
+        self.fence()
+        return self

@@ -1,0 +1,88 @@
+"""JSON serialisation of the ONNX-subset graph IR.
+
+Stands in for the ONNX protobuf format in the offline environment: the same
+information (tensors with shapes/dtypes, initialiser flags, attributed
+nodes, graph inputs/outputs) in a stable JSON schema, so model descriptions
+can be shipped as files and fed to the push-button flow.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sw.graph import Graph, GraphError, Node, TensorSpec
+
+SCHEMA_VERSION = 1
+
+
+def graph_to_json(graph: Graph, indent: int | None = None) -> str:
+    """Serialise a graph to the JSON model format."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "name": graph.name,
+        "tensors": [
+            {
+                "name": t.name,
+                "shape": list(t.shape),
+                "dtype": t.dtype,
+                "is_weight": t.is_weight,
+            }
+            for t in graph.tensors.values()
+        ],
+        "nodes": [
+            {
+                "name": n.name,
+                "op": n.op,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": n.attrs,
+            }
+            for n in graph.nodes
+        ],
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def graph_from_json(text: str) -> Graph:
+    """Parse the JSON model format back into a validated graph."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid model JSON: {exc}") from exc
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise GraphError(f"unsupported schema {payload.get('schema')!r}")
+
+    graph = Graph(payload.get("name", "graph"))
+    for entry in payload["tensors"]:
+        spec = TensorSpec(
+            name=entry["name"],
+            shape=tuple(entry["shape"]),
+            dtype=entry.get("dtype", "int8"),
+            is_weight=entry.get("is_weight", False),
+        )
+        graph.tensors[spec.name] = spec
+    for entry in payload["nodes"]:
+        node = Node(
+            name=entry["name"],
+            op=entry["op"],
+            inputs=list(entry["inputs"]),
+            outputs=list(entry["outputs"]),
+            attrs=dict(entry.get("attrs", {})),
+        )
+        graph.nodes.append(node)
+    graph.inputs = list(payload.get("inputs", []))
+    graph.outputs = list(payload.get("outputs", []))
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(graph_to_json(graph, indent=2))
+
+
+def load_graph(path: str) -> Graph:
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_json(handle.read())

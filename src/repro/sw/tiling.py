@@ -1,0 +1,188 @@
+"""Runtime tile-size selection (the paper's "data staging and mapping").
+
+At runtime, based on the dimensions of a layer's inputs and the hardware
+parameters of the accelerator instantiation, Gemmini "uses heuristics to
+maximize the amount of data moved into the scratchpad per iteration"
+(Section III-B).  This module implements that heuristic for blocked matmuls:
+grow the tile dimensions greedily while the A and B tiles fit in half the
+scratchpad (double buffering) and the C tile fits in half the accumulator.
+Manual tile sizes may also be supplied, mirroring the low-level API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import SoftwareParams
+
+
+@dataclass(frozen=True)
+class MatmulTiling:
+    """A blocked matmul schedule, dimensions in units of DIM blocks.
+
+    The inner tile computes ``(i_blocks*DIM) x (k_blocks*DIM) @
+    (k_blocks*DIM) x (j_blocks*DIM)``; outer loops sweep the full matrices.
+    """
+
+    i_blocks: int
+    j_blocks: int
+    k_blocks: int
+    dim: int
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.i_blocks, self.j_blocks, self.k_blocks) < 1:
+            raise ValueError("tile block counts must be >= 1")
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError("matmul dimensions must be >= 1")
+
+    # -- tile extents in elements ---------------------------------------- #
+
+    @property
+    def tile_m(self) -> int:
+        return self.i_blocks * self.dim
+
+    @property
+    def tile_k(self) -> int:
+        return self.k_blocks * self.dim
+
+    @property
+    def tile_n(self) -> int:
+        return self.j_blocks * self.dim
+
+    # -- outer loop trip counts ------------------------------------------- #
+
+    @property
+    def outer_i(self) -> int:
+        return -(-self.m // self.tile_m)
+
+    @property
+    def outer_j(self) -> int:
+        return -(-self.n // self.tile_n)
+
+    @property
+    def outer_k(self) -> int:
+        return -(-self.k // self.tile_k)
+
+    @property
+    def total_iterations(self) -> int:
+        return self.outer_i * self.outer_j * self.outer_k
+
+    # -- footprints -------------------------------------------------------- #
+
+    def sp_rows_used(self) -> int:
+        """Scratchpad rows one iteration's A and B tiles occupy."""
+        a_rows = self.i_blocks * self.dim * self.k_blocks
+        b_rows = self.k_blocks * self.dim * self.j_blocks
+        return a_rows + b_rows
+
+    def acc_rows_used(self) -> int:
+        return self.i_blocks * self.dim * self.j_blocks
+
+    def clipped(self, i0: int, j0: int, k0: int) -> tuple[int, int, int]:
+        """Actual (m, k, n) extents of the iteration at outer indices."""
+        m = min(self.tile_m, self.m - i0 * self.tile_m)
+        k = min(self.tile_k, self.k - k0 * self.tile_k)
+        n = min(self.tile_n, self.n - j0 * self.tile_n)
+        return m, k, n
+
+
+def plan_matmul_tiling(
+    params: SoftwareParams,
+    m: int,
+    k: int,
+    n: int,
+    double_buffer: bool = True,
+    max_blocks: int | None = None,
+) -> MatmulTiling:
+    """Choose tile sizes that maximise scratchpad use (Gemmini heuristic).
+
+    Grows (i, j, k) block counts round-robin — favouring the dimensions that
+    increase arithmetic intensity — while the footprint fits the available
+    fraction of scratchpad and accumulator.
+    """
+    if min(m, k, n) < 1:
+        raise ValueError("matmul dimensions must be >= 1")
+    dim = params.dim
+    sp_budget = params.sp_rows // (2 if double_buffer else 1)
+    acc_budget = params.acc_rows // (2 if double_buffer else 1)
+
+    # Full extents in blocks (never grow beyond the actual matrix).
+    max_i = -(-m // dim)
+    max_j = -(-n // dim)
+    max_k = -(-k // dim)
+    if max_blocks is not None:
+        max_i = min(max_i, max_blocks)
+        max_j = min(max_j, max_blocks)
+        max_k = min(max_k, max_blocks)
+
+    i_blocks = j_blocks = k_blocks = 1
+
+    def fits(i: int, j: int, kk: int) -> bool:
+        sp_rows = (i * kk + kk * j) * dim
+        acc_rows = i * j * dim
+        return sp_rows <= sp_budget and acc_rows <= acc_budget
+
+    if not fits(1, 1, 1):
+        raise ValueError(
+            f"scratchpad too small for even one {dim}x{dim} tile pair "
+            f"(sp_budget={sp_budget} rows)"
+        )
+
+    # Greedy round-robin growth: i and j first (they add C reuse), then k.
+    progress = True
+    while progress:
+        progress = False
+        for dim_name in ("i", "j", "k"):
+            i, j, kk = i_blocks, j_blocks, k_blocks
+            if dim_name == "i" and i < max_i and fits(i + 1, j, kk):
+                i_blocks += 1
+                progress = True
+            elif dim_name == "j" and j < max_j and fits(i, j + 1, kk):
+                j_blocks += 1
+                progress = True
+            elif dim_name == "k" and kk < max_k and fits(i, j, kk + 1):
+                k_blocks += 1
+                progress = True
+
+    return MatmulTiling(
+        i_blocks=i_blocks,
+        j_blocks=j_blocks,
+        k_blocks=k_blocks,
+        dim=dim,
+        m=m,
+        k=k,
+        n=n,
+    )
+
+
+def manual_tiling(
+    params: SoftwareParams,
+    m: int,
+    k: int,
+    n: int,
+    i_blocks: int,
+    j_blocks: int,
+    k_blocks: int,
+    double_buffer: bool = True,
+) -> MatmulTiling:
+    """Programmer-specified tile sizes (the low-level API escape hatch).
+
+    Raises if the requested tiles do not fit the accelerator's memories.
+    """
+    tiling = MatmulTiling(i_blocks, j_blocks, k_blocks, params.dim, m, k, n)
+    sp_budget = params.sp_rows // (2 if double_buffer else 1)
+    acc_budget = params.acc_rows // (2 if double_buffer else 1)
+    if tiling.sp_rows_used() > sp_budget:
+        raise ValueError(
+            f"manual tiling needs {tiling.sp_rows_used()} scratchpad rows, "
+            f"budget is {sp_budget}"
+        )
+    if tiling.acc_rows_used() > acc_budget:
+        raise ValueError(
+            f"manual tiling needs {tiling.acc_rows_used()} accumulator rows, "
+            f"budget is {acc_budget}"
+        )
+    return tiling

@@ -1,0 +1,138 @@
+"""Unit tests for the architectural template configuration."""
+
+import pytest
+
+from repro.core.config import (
+    Activation,
+    Dataflow,
+    GemminiConfig,
+    big_sp_config,
+    config_from_dict,
+    default_config,
+    edge_config,
+    fig9_base_config,
+    fp32_config,
+    systolic_config,
+    vector_config,
+)
+from repro.core.dtypes import FP32, INT8, INT32
+from repro.mem.tlb import TLBConfig
+
+
+class TestGeometry:
+    def test_default_is_paper_config(self):
+        cfg = default_config()
+        assert cfg.dim == 16
+        assert cfg.sp_capacity_bytes == 256 * 1024
+        assert cfg.acc_capacity_bytes == 64 * 1024
+        assert cfg.num_pes == 256
+
+    def test_derived_rows(self):
+        cfg = default_config()
+        assert cfg.sp_row_bytes == 16  # 16 int8 elements
+        assert cfg.sp_rows == 16384
+        assert cfg.acc_row_bytes == 64  # 16 int32 elements
+        assert cfg.acc_rows == 1024
+
+    def test_two_level_grid(self):
+        cfg = GemminiConfig(mesh_rows=4, mesh_cols=2, tile_rows=2, tile_cols=4)
+        assert cfg.grid_rows == 8
+        assert cfg.grid_cols == 8
+        assert cfg.dim == 8
+
+    def test_systolic_vs_vector_same_pes(self):
+        sys = systolic_config(16)
+        vec = vector_config(16)
+        assert sys.num_pes == vec.num_pes == 256
+        assert sys.pipeline_depth > vec.pipeline_depth
+
+    def test_non_square_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GemminiConfig(mesh_rows=4, mesh_cols=2)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GemminiConfig(sp_capacity_bytes=1000)
+
+    def test_mixed_int_float_rejected(self):
+        with pytest.raises(ValueError):
+            GemminiConfig(input_type=INT8, acc_type=FP32)
+
+    def test_bus_width_power_of_two(self):
+        with pytest.raises(ValueError):
+            GemminiConfig(dma_bus_bytes=12)
+
+
+class TestDataflowEnum:
+    def test_both_supports_each(self):
+        assert Dataflow.BOTH.supports(Dataflow.WS)
+        assert Dataflow.BOTH.supports(Dataflow.OS)
+
+    def test_single_dataflow_exclusive(self):
+        assert Dataflow.WS.supports(Dataflow.WS)
+        assert not Dataflow.WS.supports(Dataflow.OS)
+
+
+class TestVariants:
+    def test_with_memories(self):
+        cfg = default_config().with_memories(sp_capacity_bytes=512 * 1024)
+        assert cfg.sp_capacity_bytes == 512 * 1024
+        assert cfg.acc_capacity_bytes == 64 * 1024
+
+    def test_with_tlb(self):
+        tlb = TLBConfig(private_entries=4, shared_entries=0)
+        cfg = default_config().with_tlb(tlb)
+        assert cfg.tlb.private_entries == 4
+
+    def test_with_im2col(self):
+        assert default_config().with_im2col(True).has_im2col
+
+    def test_edge_config(self):
+        cfg = edge_config(private_tlb_entries=4, filter_registers=True)
+        assert cfg.tlb.private_entries == 4
+        assert cfg.tlb.filter_registers
+        assert cfg.sp_capacity_bytes == 256 * 1024
+
+    def test_fig9_configs(self):
+        base = fig9_base_config()
+        big = big_sp_config()
+        assert base.acc_capacity_bytes == 256 * 1024
+        assert big.sp_capacity_bytes == 512 * 1024
+
+    def test_fp32_config(self):
+        cfg = fp32_config()
+        assert cfg.input_type is FP32
+
+    def test_describe_mentions_geometry(self):
+        text = default_config().describe()
+        assert "16x16" in text
+        assert "256KB" in text
+
+
+class TestFromDict:
+    def test_round_trip_fields(self):
+        cfg = config_from_dict(
+            {
+                "mesh_rows": 8,
+                "mesh_cols": 8,
+                "input_type": "int8",
+                "acc_type": "int32",
+                "dataflow": "WS",
+                "tlb": {"private_entries": 8, "shared_entries": 32},
+            }
+        )
+        assert cfg.dim == 8
+        assert cfg.input_type is INT8
+        assert cfg.acc_type is INT32
+        assert cfg.dataflow is Dataflow.WS
+        assert cfg.tlb.private_entries == 8
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"input_type": "int7"})
+
+
+class TestActivationEnum:
+    def test_members(self):
+        assert Activation.NONE.value == "none"
+        assert Activation.RELU6.value == "relu6"

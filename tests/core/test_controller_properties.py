@@ -1,0 +1,93 @@
+"""Property tests: the decoupled controller against reference bounds.
+
+For random op sequences, the controller's completion time must be
+(a) no later than fully serial execution — decoupling can only help — and
+(b) no earlier than both the per-unit busy-time bound and the dependency
+critical path.  Together these bracket the scheduler's legal behaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import Controller, Op
+
+TOKENS = ["a", "b", "c", "d"]
+
+op_strategy = st.builds(
+    lambda unit, cycles, reads, writes: Op(
+        unit=unit,
+        cycles=float(cycles),
+        reads=tuple(reads),
+        writes=tuple(writes),
+    ),
+    unit=st.sampled_from(["load", "exec", "store"]),
+    cycles=st.integers(min_value=1, max_value=50),
+    reads=st.sets(st.sampled_from(TOKENS), max_size=2),
+    writes=st.sets(st.sampled_from(TOKENS), max_size=2),
+)
+
+
+def serial_end(ops, dispatch=1.0):
+    """Reference: fully serialised execution."""
+    return sum(op.cycles + dispatch for op in ops)
+
+
+def unit_busy_bound(ops):
+    """Lower bound: the busiest unit's total work."""
+    busy = {"load": 0.0, "exec": 0.0, "store": 0.0}
+    for op in ops:
+        busy[op.unit] += op.cycles
+    return max(busy.values())
+
+
+def critical_path_bound(ops):
+    """Lower bound: the longest dependency chain through the tokens."""
+    ready: dict[str, float] = {}
+    finish_prev = 0.0
+    for op in ops:
+        start = 0.0
+        for token in op.reads:
+            start = max(start, ready.get(token, 0.0))
+        for token in op.writes:
+            start = max(start, ready.get(token, 0.0))
+        end = start + op.cycles
+        for token in op.writes:
+            ready[token] = end
+        finish_prev = max(finish_prev, end)
+    return finish_prev
+
+
+class TestControllerBounds:
+    @given(st.lists(op_strategy, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_never_slower_than_serial(self, ops):
+        controller = Controller(rob_entries=64)
+        result = controller.execute(ops)
+        end = controller.drain()
+        assert end <= serial_end(ops) + 1e-6
+        assert result.ops_executed == len(ops)
+
+    @given(st.lists(op_strategy, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_respects_unit_busy_bound(self, ops):
+        controller = Controller(rob_entries=64, dispatch_cycles=0.0)
+        controller.execute(ops)
+        end = controller.drain()
+        assert end >= unit_busy_bound(ops) - 1e-6
+
+    @given(st.lists(op_strategy, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_respects_dependency_critical_path(self, ops):
+        controller = Controller(rob_entries=64, dispatch_cycles=0.0)
+        controller.execute(ops)
+        end = controller.drain()
+        assert end >= critical_path_bound(ops) - 1e-6
+
+    @given(st.lists(op_strategy, min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_smaller_rob_never_faster(self, ops):
+        tight = Controller(rob_entries=1)
+        wide = Controller(rob_entries=64)
+        tight.execute(list(ops))
+        wide.execute(list(ops))
+        assert tight.drain() >= wide.drain() - 1e-6

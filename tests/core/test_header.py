@@ -1,0 +1,55 @@
+"""Unit tests for the generated C params header."""
+
+from repro.core.config import default_config, systolic_config, vector_config
+from repro.core.header import emit_params_header, parse_params_header
+
+
+class TestHeaderEmission:
+    def test_contains_guard(self):
+        text = emit_params_header(default_config())
+        assert text.startswith("#ifndef GEMMINI_PARAMS_H")
+        assert text.rstrip().endswith("#endif // GEMMINI_PARAMS_H")
+
+    def test_dim_and_memories(self):
+        values = parse_params_header(emit_params_header(default_config()))
+        assert values["DIM"] == 16
+        assert values["BANK_NUM"] == 4
+        assert values["BANK_ROWS"] == 4096
+        assert values["ACC_ROWS"] == 1024
+        assert values["SP_CAPACITY_BYTES"] == 256 * 1024
+
+    def test_types_for_int8(self):
+        values = parse_params_header(emit_params_header(default_config()))
+        assert values["HAS_POOLING"] == 1
+        assert values["SUPPORTS_WS"] == 1
+        assert values["SUPPORTS_OS"] == 1
+
+    def test_elem_type_line(self):
+        text = emit_params_header(default_config())
+        assert "typedef int8_t elem_t;" in text
+        assert "typedef int32_t acc_t;" in text
+
+    def test_mesh_geometry(self):
+        sys_vals = parse_params_header(emit_params_header(systolic_config()))
+        vec_vals = parse_params_header(emit_params_header(vector_config()))
+        assert sys_vals["MESH_ROWS"] == 16 and sys_vals["TILE_ROWS"] == 1
+        assert vec_vals["MESH_ROWS"] == 1 and vec_vals["TILE_ROWS"] == 16
+
+    def test_tlb_parameters(self):
+        from repro.core.config import edge_config
+
+        cfg = edge_config(private_tlb_entries=4, shared_tlb_entries=512, filter_registers=True)
+        values = parse_params_header(emit_params_header(cfg))
+        assert values["TLB_PRIVATE_ENTRIES"] == 4
+        assert values["TLB_SHARED_ENTRIES"] == 512
+        assert values["TLB_FILTER_REGISTERS"] == 1
+
+    def test_custom_guard(self):
+        text = emit_params_header(default_config(), guard="MY_GUARD_H")
+        assert "#ifndef MY_GUARD_H" in text
+
+    def test_fp32_types(self):
+        from repro.core.config import fp32_config
+
+        text = emit_params_header(fp32_config())
+        assert "typedef float elem_t;" in text

@@ -1,0 +1,182 @@
+"""Unit and property tests for the RoCC ISA encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import isa
+from repro.core.isa import (
+    ConfigTarget,
+    Funct,
+    GARBAGE_ADDR,
+    Instruction,
+    LocalAddr,
+)
+
+
+local_addrs = st.builds(
+    LocalAddr,
+    row=st.integers(min_value=0, max_value=(1 << 29) - 1),
+    is_acc=st.booleans(),
+    accumulate=st.booleans(),
+    read_full=st.booleans(),
+    garbage=st.just(False),
+)
+
+dims16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestLocalAddr:
+    def test_sp_helper(self):
+        addr = LocalAddr.sp(100)
+        assert not addr.is_acc
+        assert addr.encode() == 100
+
+    def test_acc_helper_sets_bits(self):
+        addr = LocalAddr.acc(5, accumulate=True)
+        encoded = addr.encode()
+        assert encoded & (1 << 31)
+        assert encoded & (1 << 30)
+        assert encoded & ((1 << 29) - 1) == 5
+
+    def test_garbage_encodes_all_ones(self):
+        assert LocalAddr.garbage_addr().encode() == GARBAGE_ADDR
+
+    def test_decode_garbage(self):
+        assert LocalAddr.decode(GARBAGE_ADDR).garbage
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ValueError):
+            LocalAddr(row=1 << 29).encode()
+
+    @given(local_addrs)
+    def test_encode_decode_round_trip(self, addr):
+        assert LocalAddr.decode(addr.encode()) == addr
+
+
+class TestMoveEncoding:
+    def test_mvin_fields(self):
+        inst = isa.mvin(0xDEAD0000, LocalAddr.sp(42), cols=16, rows=8)
+        assert inst.funct is Funct.MVIN
+        decoded = isa.decode_move(inst)
+        assert decoded.dram_vaddr == 0xDEAD0000
+        assert decoded.local.row == 42
+        assert decoded.cols == 16
+        assert decoded.rows == 8
+
+    def test_mvout_to_acc(self):
+        inst = isa.mvout(0x1000, LocalAddr.acc(7, read_full=True), cols=4, rows=4)
+        decoded = isa.decode_move(inst)
+        assert decoded.local.is_acc
+        assert decoded.local.read_full
+
+    def test_dims_out_of_range(self):
+        with pytest.raises(ValueError):
+            isa.mvin(0, LocalAddr.sp(0), cols=1 << 16, rows=1)
+
+    def test_decode_wrong_funct_raises(self):
+        with pytest.raises(ValueError):
+            isa.decode_move(isa.flush())
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        local_addrs, dims16, dims16,
+    )
+    def test_move_round_trip(self, vaddr, local, cols, rows):
+        inst = isa.mvin(vaddr, local, cols, rows)
+        decoded = isa.decode_move(inst)
+        assert decoded.dram_vaddr == vaddr
+        assert decoded.local == local
+        assert decoded.cols == cols
+        assert decoded.rows == rows
+
+
+class TestComputeEncoding:
+    @given(local_addrs, local_addrs, dims16, dims16, dims16, dims16)
+    def test_compute_round_trip(self, a, bd, ac, ar, bc, br):
+        inst = isa.compute_preloaded(a, bd, ac, ar, bc, br)
+        decoded = isa.decode_compute(inst)
+        assert decoded.a == a
+        assert decoded.bd == bd
+        assert (decoded.a_cols, decoded.a_rows) == (ac, ar)
+        assert (decoded.bd_cols, decoded.bd_rows) == (bc, br)
+
+    def test_accumulate_variant(self):
+        inst = isa.compute_accumulate(
+            LocalAddr.sp(0), LocalAddr.garbage_addr(), 4, 4, 4, 4
+        )
+        assert inst.funct is Funct.COMPUTE_ACCUMULATE
+        assert isa.decode_compute(inst).bd.garbage
+
+    @given(local_addrs, local_addrs, dims16, dims16, dims16, dims16)
+    def test_preload_round_trip(self, b, c, bc, br, cc, cr):
+        inst = isa.preload(b, c, bc, br, cc, cr)
+        decoded = isa.decode_preload(inst)
+        assert decoded.b == b
+        assert decoded.c == c
+        assert (decoded.b_cols, decoded.b_rows) == (bc, br)
+        assert (decoded.c_cols, decoded.c_rows) == (cc, cr)
+
+
+class TestConfigEncoding:
+    def test_config_targets(self):
+        assert isa.config_target(isa.config_ex(True)) is ConfigTarget.EX
+        assert isa.config_target(isa.config_ld(16)) is ConfigTarget.LD
+        assert isa.config_target(isa.config_st(16)) is ConfigTarget.ST
+
+    def test_config_ex_round_trip(self):
+        inst = isa.config_ex(
+            dataflow_ws=True,
+            activation=2,
+            in_shift=9,
+            transpose_a=True,
+            transpose_b=False,
+            acc_scale=0.5,
+        )
+        decoded = isa.decode_config_ex(inst)
+        assert decoded.dataflow_ws
+        assert decoded.activation == 2
+        assert decoded.in_shift == 9
+        assert decoded.transpose_a and not decoded.transpose_b
+        assert decoded.acc_scale == pytest.approx(0.5)
+
+    def test_config_ld_round_trip(self):
+        inst = isa.config_ld(stride_bytes=224, scale=0.25, shrink=True)
+        decoded = isa.decode_config_ld(inst)
+        assert decoded.stride_bytes == 224
+        assert decoded.scale == pytest.approx(0.25)
+        assert decoded.shrink
+
+    def test_config_st_round_trip(self):
+        inst = isa.config_st(stride_bytes=64, pool_size=2, pool_stride=2, pool_out_cols=56)
+        decoded = isa.decode_config_st(inst)
+        assert decoded.stride_bytes == 64
+        assert decoded.pool_size == 2
+        assert decoded.pool_stride == 2
+        assert decoded.pool_out_cols == 56
+
+    def test_cross_decode_rejected(self):
+        with pytest.raises(ValueError):
+            isa.decode_config_ex(isa.config_ld(16))
+        with pytest.raises(ValueError):
+            isa.decode_config_ld(isa.config_st(16))
+
+    def test_activation_field_bounds(self):
+        with pytest.raises(ValueError):
+            isa.config_ex(True, activation=4)
+
+    @given(st.floats(min_value=2.0 ** -20, max_value=2.0 ** 20, allow_nan=False, width=32))
+    def test_scale_survives_float_bits(self, scale):
+        decoded = isa.decode_config_ex(isa.config_ex(True, acc_scale=scale))
+        assert decoded.acc_scale == pytest.approx(scale, rel=1e-6)
+
+
+class TestInstruction:
+    def test_operands_masked_to_64_bits(self):
+        inst = Instruction(Funct.FLUSH, rs1=1 << 70, rs2=-1)
+        assert inst.rs1 == (1 << 70) & ((1 << 64) - 1)
+        assert inst.rs2 == (1 << 64) - 1
+
+    def test_fence_flush_builders(self):
+        assert isa.fence().funct is Funct.FENCE
+        assert isa.flush().funct is Funct.FLUSH

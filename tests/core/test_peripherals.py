@@ -1,0 +1,170 @@
+"""Unit tests for the peripheral compute blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dtypes import INT8
+from repro.core.peripherals import (
+    ConvParams,
+    Im2colUnit,
+    MatrixScalarUnit,
+    PoolingEngine,
+    PoolParams,
+    Transposer,
+    conv_reference,
+    im2col,
+)
+
+
+class TestConvParams:
+    def test_output_dims(self):
+        p = ConvParams(in_h=8, in_w=8, in_ch=3, out_ch=4, kernel=3, stride=1, padding=1)
+        assert p.out_h == 8
+        assert p.out_w == 8
+        assert p.patch_size == 27
+        assert p.num_patches == 64
+
+    def test_strided_output(self):
+        p = ConvParams(in_h=8, in_w=8, in_ch=1, out_ch=1, kernel=3, stride=2, padding=0)
+        assert p.out_h == 3
+
+    def test_macs(self):
+        p = ConvParams(in_h=4, in_w=4, in_ch=2, out_ch=3, kernel=2)
+        assert p.macs == p.num_patches * p.patch_size * 3
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            ConvParams(in_h=2, in_w=2, in_ch=1, out_ch=1, kernel=3)
+
+
+class TestIm2col:
+    def test_identity_1x1_kernel(self, rng):
+        p = ConvParams(in_h=3, in_w=3, in_ch=2, out_ch=1, kernel=1)
+        image = rng.integers(-8, 8, size=(3, 3, 2)).astype(np.int8)
+        patches = im2col(image, p)
+        assert patches.shape == (9, 2)
+        assert (patches == image.reshape(9, 2)).all()
+
+    def test_padding_zeros(self):
+        p = ConvParams(in_h=2, in_w=2, in_ch=1, out_ch=1, kernel=3, padding=1)
+        image = np.ones((2, 2, 1), dtype=np.int8)
+        patches = im2col(image, p)
+        # Corner patch has 4 ones (the image corner) and 5 zeros.
+        assert patches[0].sum() == 4
+
+    def test_shape_mismatch_rejected(self):
+        p = ConvParams(in_h=4, in_w=4, in_ch=1, out_ch=1, kernel=2)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((3, 3, 1), dtype=np.int8), p)
+
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=2),
+        st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=12)
+    def test_conv_reference_equals_direct_loops(self, kernel, stride, padding):
+        rng = np.random.default_rng(kernel * 10 + stride)
+        in_h = in_w = 5
+        in_ch, out_ch = 2, 3
+        try:
+            p = ConvParams(in_h, in_w, in_ch, out_ch, kernel, stride, padding)
+        except ValueError:
+            return
+        image = rng.integers(-4, 4, size=(in_h, in_w, in_ch)).astype(np.int32)
+        weights = rng.integers(-4, 4, size=(p.patch_size, out_ch)).astype(np.int32)
+        got = conv_reference(image, weights, p)
+
+        # Direct 6-loop convolution.
+        padded = np.pad(image, ((padding, padding), (padding, padding), (0, 0)))
+        w4 = weights.reshape(kernel, kernel, in_ch, out_ch)
+        expected = np.zeros((p.out_h, p.out_w, out_ch))
+        for oy in range(p.out_h):
+            for ox in range(p.out_w):
+                for ky in range(kernel):
+                    for kx in range(kernel):
+                        for ci in range(in_ch):
+                            for co in range(out_ch):
+                                expected[oy, ox, co] += (
+                                    padded[oy * stride + ky, ox * stride + kx, ci]
+                                    * w4[ky, kx, ci, co]
+                                )
+        assert np.allclose(got, expected)
+
+    def test_unit_cycles(self):
+        unit = Im2colUnit(dim=16)
+        assert unit.patch_rows_cycles(100) == 100
+        assert unit.patch_rows_cycles(0) == 1
+
+
+class TestTransposer:
+    def test_transpose(self, rng):
+        t = Transposer(4)
+        block = rng.integers(0, 10, size=(4, 4))
+        assert (t.transpose(block) == block.T).all()
+
+    def test_rejects_non_2d(self):
+        t = Transposer(4)
+        with pytest.raises(ValueError):
+            t.transpose(np.zeros(4))
+
+    def test_cycles(self):
+        assert Transposer(16).cycles() == 16
+
+
+class TestPooling:
+    def test_max_pool_2x2(self):
+        engine = PoolingEngine(4)
+        image = np.arange(16, dtype=np.int8).reshape(4, 4, 1)
+        params = PoolParams(size=2, stride=2, in_h=4, in_w=4)
+        out = engine.max_pool(image, params)
+        assert out.shape == (2, 2, 1)
+        assert list(out[..., 0].reshape(-1)) == [5, 7, 13, 15]
+
+    def test_overlapping_windows(self):
+        engine = PoolingEngine(4)
+        image = np.arange(16, dtype=np.int8).reshape(4, 4, 1)
+        params = PoolParams(size=3, stride=1, in_h=4, in_w=4)
+        out = engine.max_pool(image, params)
+        assert out.shape == (2, 2, 1)
+        assert out[0, 0, 0] == 10
+
+    def test_multichannel_independent(self, rng):
+        engine = PoolingEngine(4)
+        image = rng.integers(-50, 50, size=(4, 4, 3)).astype(np.int8)
+        params = PoolParams(size=2, stride=2, in_h=4, in_w=4)
+        out = engine.max_pool(image, params)
+        for c in range(3):
+            expected = engine.max_pool(image[:, :, c : c + 1], params)
+            assert (out[:, :, c] == expected[:, :, 0]).all()
+
+    def test_cycles_scale_with_output(self):
+        engine = PoolingEngine(16)
+        small = engine.cycles(PoolParams(2, 2, 8, 8), channels=16)
+        large = engine.cycles(PoolParams(2, 2, 16, 16), channels=16)
+        assert large > small
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            PoolParams(size=0, stride=1, in_h=4, in_w=4)
+        with pytest.raises(ValueError):
+            PoolParams(size=5, stride=1, in_h=4, in_w=4)
+
+
+class TestMatrixScalar:
+    def test_scale_saturates(self):
+        unit = MatrixScalarUnit(4)
+        block = np.array([[100, -100]], dtype=np.int8)
+        out = unit.scale(block, 2.0, INT8)
+        assert list(out[0]) == [127, -128]
+
+    def test_scale_rounds(self):
+        unit = MatrixScalarUnit(4)
+        block = np.array([[5]], dtype=np.int8)
+        out = unit.scale(block, 0.5, INT8)
+        assert out[0, 0] == 2  # 2.5 rounds half-to-even
+
+    def test_cycles(self):
+        assert MatrixScalarUnit(4).cycles(7) == 7

@@ -1,0 +1,166 @@
+"""Smoke + shape tests for the experiment runners (reduced problem sizes).
+
+Full-scale runs live in ``benchmarks/``; here every runner executes at a
+reduced input resolution so the suite stays fast, and the *qualitative*
+paper claims are asserted on the small versions where they already hold.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+
+
+class TestFig3:
+    def test_anchor_points(self):
+        r = run_fig3()
+        assert r.row("systolic").frequency_ghz == pytest.approx(1.89, rel=0.01)
+        assert r.row("vector").frequency_ghz == pytest.approx(0.69, rel=0.01)
+        assert r.freq_ratio == pytest.approx(r.paper_freq_ratio, rel=0.05)
+        assert r.area_ratio == pytest.approx(r.paper_area_ratio, rel=0.05)
+        assert r.power_ratio == pytest.approx(r.paper_power_ratio, rel=0.05)
+
+    def test_intermediate_points_between_extremes(self):
+        r = run_fig3()
+        vec = r.row("vector")
+        sys = r.row("systolic")
+        for row in r.rows:
+            if row.name.startswith("tile"):
+                assert vec.frequency_ghz < row.frequency_ghz < sys.frequency_ghz
+                assert vec.area_kum2 < row.area_kum2 < sys.area_kum2
+
+    def test_no_intermediate_option(self):
+        r = run_fig3(include_intermediate=False)
+        assert len(r.rows) == 2
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(input_hw=64, window=256)
+
+    def test_trace_nonempty(self, result):
+        assert len(result.trace) > 5
+        assert result.total_requests > 0
+
+    def test_miss_rate_bounded(self, result):
+        assert all(0.0 <= v <= 1.0 for __, v in result.trace)
+
+    def test_spiky_behaviour(self, result):
+        """Tiled workloads spike the miss rate well above its mean."""
+        assert result.peak_miss_rate > 2 * result.mean_miss_rate
+
+    def test_times_monotone(self, result):
+        times = [t for t, __ in result.trace]
+        assert times == sorted(times)
+
+
+class TestFig6:
+    def test_matches_paper_rows(self):
+        r = run_fig6()
+        for name, (paper_um2, __pct) in r.paper_rows.items():
+            assert getattr(r.breakdown, name) == pytest.approx(paper_um2, rel=0.05)
+        assert r.breakdown.total == pytest.approx(r.paper_total, rel=0.02)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Reduced: two contrasting models at 96px, no host sweep for speed.
+        return run_fig7(models=("squeezenet", "mobilenetv2"), input_hw=96,
+                        host_sweep=False)
+
+    def test_speedups_positive_and_large(self, result):
+        for row in result.rows:
+            assert row.speedup_im2col > 10
+
+    def test_baselines_ordered(self, result):
+        for row in result.rows:
+            assert row.boom_baseline_cycles < row.rocket_baseline_cycles
+
+    def test_host_sweep_small(self):
+        r = run_fig7(models=("squeezenet",), input_hw=64, host_sweep=True)
+        row = r.row("squeezenet")
+        # Without the im2col unit the accelerator runs slower than with it.
+        assert row.accel_cpu_im2col_rocket_cycles > row.accel_im2col_cycles
+        # A BOOM host recovers a chunk of that loss.
+        assert 1.0 < row.boom_host_gain < 3.0
+
+    def test_unknown_model_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("lenet")
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(
+            private_sizes=(4, 16),
+            shared_sizes=(0, 128),
+            filters=(False, True),
+            input_hw=64,
+        )
+
+    def test_grid_complete(self, result):
+        assert len(result.points) == 2 * 2 * 2
+
+    def test_normalized_performance_in_unit_range(self, result):
+        assert all(0 < p.normalized_performance <= 1.0 for p in result.points)
+
+    def test_bigger_private_tlb_not_slower(self, result):
+        for filters in (False, True):
+            small = result.point(4, 0, filters)
+            big = result.point(16, 0, filters)
+            assert big.total_cycles <= small.total_cycles * 1.01
+
+    def test_filters_help_small_tlbs(self, result):
+        """Filter registers lift the 4-entry configuration (Fig 8b)."""
+        plain = result.point(4, 0, False)
+        filtered = result.point(4, 0, True)
+        assert filtered.total_cycles < plain.total_cycles
+
+    def test_high_page_locality(self, result):
+        """Consecutive same-page fractions are high (paper: 87%/83%)."""
+        p = result.point(4, 0, True)
+        assert p.consecutive_same_read > 0.6
+        assert p.consecutive_same_write > 0.6
+
+    def test_filters_boost_effective_hit_rate(self, result):
+        plain = result.point(4, 0, False)
+        filtered = result.point(4, 0, True)
+        assert filtered.hit_rate_including_filters > plain.private_hit_rate
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(input_hw=96, core_counts=(1, 2))
+
+    def test_all_runs_present(self, result):
+        assert len(result.runs) == 6
+        for name in ("Base", "BigSP", "BigL2"):
+            assert result.run(name, 1).total_cycles > 0
+            assert result.run(name, 2).total_cycles > 0
+
+    def test_dual_core_slower_than_single(self, result):
+        for name in ("Base", "BigSP", "BigL2"):
+            assert result.run(name, 2).total_cycles > result.run(name, 1).total_cycles
+
+    def test_bigl2_reduces_miss_rate(self, result):
+        """The paper's 7.1% dual-core L2 miss-rate reduction (direction)."""
+        assert result.run("BigL2", 2).l2_miss_rate < result.run("Base", 2).l2_miss_rate
+
+    def test_layer_kind_breakdown_present(self, result):
+        run = result.run("Base", 1)
+        assert "conv" in run.cycles_by_kind
+        assert "resadd" in run.cycles_by_kind
+
+    def test_speedup_accessor(self, result):
+        assert result.speedup("Base", 1) == pytest.approx(1.0)
+        assert result.speedup("BigSP", 1) > 0

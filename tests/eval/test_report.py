@@ -1,0 +1,40 @@
+"""Tests for the ASCII rendering helpers."""
+
+from repro.eval.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 10000.0]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "10,000" in text
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_float_formats(self):
+        text = format_table(["v"], [[0.123456], [12.3456], [1234.5]])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert "(empty)" in format_series("s", [])
+
+    def test_stats_line(self):
+        text = format_series("miss", [(0.0, 0.1), (1.0, 0.3)])
+        assert "peak=0.300" in text
+        assert "mean=0.200" in text
+
+    def test_sparkline_length_bounded(self):
+        points = [(float(i), (i % 10) / 10) for i in range(1000)]
+        text = format_series("s", points, width=40)
+        bar = text.splitlines()[1]
+        assert len(bar) <= 48

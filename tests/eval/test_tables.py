@@ -1,0 +1,40 @@
+"""Table I tests: data integrity and code-derivation of the Gemmini column."""
+
+from repro.eval.tables import (
+    GENERATORS,
+    PROPERTIES,
+    TABLE_I,
+    format_table_i,
+    gemmini_column_from_code,
+)
+
+
+class TestTableI:
+    def test_all_cells_present(self):
+        for prop in PROPERTIES:
+            assert prop in TABLE_I
+            for generator in GENERATORS:
+                assert generator in TABLE_I[prop], (prop, generator)
+
+    def test_gemmini_unique_capabilities(self):
+        """Only Gemmini supports VM, full SoC, and OS in the matrix."""
+        for prop in ("Virtual Memory", "Full SoC", "OS Support"):
+            for generator in GENERATORS:
+                expected = "yes" if generator == "Gemmini" else "no"
+                assert TABLE_I[prop][generator] == expected
+
+    def test_gemmini_column_derived_from_code_matches_paper(self):
+        derived = gemmini_column_from_code()
+        for prop, value in derived.items():
+            assert TABLE_I[prop]["Gemmini"] == value, prop
+
+    def test_format_renders_all_generators(self):
+        text = format_table_i()
+        for generator in GENERATORS:
+            assert generator in text
+        for prop in PROPERTIES:
+            assert prop in text
+
+    def test_format_is_aligned(self):
+        lines = format_table_i().splitlines()
+        assert len({line.count("|") for line in lines if "|" in line}) == 1

@@ -1,0 +1,83 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.address import AddressRange, align_down, align_up, line_span, page_span
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234, 0x100) == 0x1200
+        assert align_down(0x1200, 0x100) == 0x1200
+
+    def test_align_up(self):
+        assert align_up(0x1234, 0x100) == 0x1300
+        assert align_up(0x1200, 0x100) == 0x1200
+
+    @given(st.integers(min_value=0, max_value=1 << 40), st.sampled_from([1, 2, 64, 4096]))
+    def test_alignment_brackets_address(self, addr, alignment):
+        down = align_down(addr, alignment)
+        up = align_up(addr, alignment)
+        assert down <= addr <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestSpans:
+    def test_line_span_single(self):
+        assert list(line_span(0, 64, 64)) == [0]
+        assert list(line_span(10, 4, 64)) == [0]
+
+    def test_line_span_straddles(self):
+        assert list(line_span(60, 8, 64)) == [0, 1]
+
+    def test_line_span_empty(self):
+        assert list(line_span(0, 0, 64)) == []
+
+    def test_page_span(self):
+        assert list(page_span(4090, 10, 4096)) == [0, 1]
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_span_covers_both_endpoints(self, addr, nbytes):
+        span = line_span(addr, nbytes, 64)
+        assert span.start == addr // 64
+        assert span.stop - 1 == (addr + nbytes - 1) // 64
+
+
+class TestAddressRange:
+    def test_contains(self):
+        r = AddressRange(100, 50)
+        assert r.contains(100)
+        assert r.contains(149)
+        assert not r.contains(150)
+        assert not r.contains(99)
+
+    def test_overlap(self):
+        a = AddressRange(0, 10)
+        b = AddressRange(5, 10)
+        c = AddressRange(10, 10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_zero_size_never_overlaps(self):
+        assert not AddressRange(5, 0).overlaps(AddressRange(0, 100))
+
+    def test_intersection(self):
+        a = AddressRange(0, 10)
+        b = AddressRange(5, 10)
+        inter = a.intersection(b)
+        assert inter.base == 5
+        assert inter.size == 5
+
+    def test_disjoint_intersection_empty(self):
+        assert AddressRange(0, 5).intersection(AddressRange(10, 5)).size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressRange(0, -1)

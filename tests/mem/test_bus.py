@@ -1,0 +1,40 @@
+"""Unit tests for the system bus."""
+
+import pytest
+
+from repro.mem.bus import SystemBus
+
+
+class TestSystemBus:
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            SystemBus(beat_bytes=12)
+
+    def test_transfer_time(self):
+        bus = SystemBus(beat_bytes=16)
+        end = bus.transfer(0.0, 64)
+        assert end == pytest.approx(1.0 + 64 / 16)
+
+    def test_wider_bus_is_faster(self):
+        narrow = SystemBus(beat_bytes=8)
+        wide = SystemBus(beat_bytes=64)
+        assert wide.transfer(0.0, 512) < narrow.transfer(0.0, 512)
+
+    def test_requester_accounting(self):
+        bus = SystemBus()
+        bus.transfer(0.0, 100, requester="cpu0")
+        bus.transfer(0.0, 50, requester="gemmini0")
+        assert bus.stats.value("bytes_cpu0") == 100
+        assert bus.stats.value("bytes_gemmini0") == 50
+        assert bus.stats.value("bytes") == 150
+
+    def test_zero_bytes_noop(self):
+        bus = SystemBus()
+        assert bus.transfer(7.0, 0) == 7.0
+        assert bus.stats.value("transactions") == 0
+
+    def test_contention_serializes(self):
+        bus = SystemBus(beat_bytes=16)
+        end1 = bus.transfer(0.0, 160)
+        end2 = bus.transfer(0.0, 160)
+        assert end2 > end1

@@ -1,0 +1,143 @@
+"""Unit tests for the set-associative write-back cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.dram import DRAMConfig, DRAMModel
+
+
+def make_cache(size=1024, ways=2, line=64, **kwargs):
+    dram = DRAMModel(DRAMConfig(access_latency=100, bytes_per_cycle=16))
+    cache = Cache(CacheConfig(size_bytes=size, ways=ways, line_bytes=line, **kwargs), dram)
+    return cache, dram
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=1 << 20, ways=8, line_bytes=64)
+        assert cfg.num_sets == (1 << 20) // (8 * 64)
+        assert cfg.num_lines == (1 << 20) // 64
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64)
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=48)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache, __ = make_cache()
+        cache.access(0.0, 0, 64, False)
+        cache.access(0.0, 0, 64, False)
+        assert cache.stats.value("misses") == 1
+        assert cache.stats.value("hits") == 1
+
+    def test_miss_fetches_from_lower(self):
+        cache, dram = make_cache()
+        cache.access(0.0, 0, 64, False)
+        assert dram.stats.value("reads") == 1
+
+    def test_hit_does_not_touch_lower(self):
+        cache, dram = make_cache()
+        cache.access(0.0, 0, 64, False)
+        before = dram.stats.value("reads")
+        cache.access(0.0, 0, 64, False)
+        assert dram.stats.value("reads") == before
+
+    def test_multi_line_access_counts_each_line(self):
+        cache, __ = make_cache()
+        cache.access(0.0, 0, 256, False)
+        assert cache.stats.value("accesses") == 4
+
+    def test_lru_eviction_order(self):
+        # 2-way, set 0 holds lines 0 and num_sets; a third line in the same
+        # set must evict the least recently used one.
+        cache, __ = make_cache(size=1024, ways=2, line=64)
+        num_sets = cache.config.num_sets
+        a, b, c = 0, num_sets * 64, 2 * num_sets * 64
+        cache.access(0.0, a, 64, False)
+        cache.access(0.0, b, 64, False)
+        cache.access(0.0, a, 64, False)  # refresh a
+        cache.access(0.0, c, 64, False)  # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_dirty_eviction_writes_back(self):
+        cache, dram = make_cache(size=1024, ways=1, line=64)
+        num_sets = cache.config.num_sets
+        cache.access(0.0, 0, 64, True)  # dirty line
+        cache.access(0.0, num_sets * 64, 64, False)  # evicts it
+        assert cache.stats.value("writebacks") == 1
+        assert dram.stats.value("writes") == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache, __ = make_cache(size=1024, ways=1, line=64)
+        num_sets = cache.config.num_sets
+        cache.access(0.0, 0, 64, False)
+        cache.access(0.0, num_sets * 64, 64, False)
+        assert cache.stats.value("writebacks") == 0
+
+    def test_flush_writes_dirty_lines(self):
+        cache, dram = make_cache()
+        cache.access(0.0, 0, 64, True)
+        cache.access(0.0, 64, 64, False)
+        cache.flush()
+        assert cache.resident_lines() == 0
+        assert dram.stats.value("writes") == 1
+
+    def test_capacity_thrash(self):
+        # Streaming 2x the capacity twice gives ~zero hits with LRU.
+        cache, __ = make_cache(size=1024, ways=2, line=64)
+        for __pass in range(2):
+            for addr in range(0, 2048, 64):
+                cache.access(0.0, addr, 64, False)
+        assert cache.stats.value("hits") == 0
+        assert cache.miss_rate() == 1.0
+
+    def test_working_set_fits(self):
+        cache, __ = make_cache(size=1024, ways=2, line=64)
+        for __pass in range(3):
+            for addr in range(0, 1024, 64):
+                cache.access(0.0, addr, 64, False)
+        assert cache.stats.value("misses") == 16  # cold only
+        assert cache.stats.value("hits") == 32
+
+    def test_requester_tagging(self):
+        cache, __ = make_cache()
+        cache.access(0.0, 0, 64, False, requester="g0")
+        cache.access(0.0, 0, 64, False, requester="g1")
+        assert cache.stats.value("misses_g0") == 1
+        assert cache.stats.value("hits_g1") == 1
+
+    def test_zero_bytes_noop(self):
+        cache, __ = make_cache()
+        assert cache.access(3.0, 0, 0, False) == 3.0
+
+    def test_miss_slower_than_hit(self):
+        cache, __ = make_cache()
+        t_miss = cache.access(0.0, 0, 64, False)
+        t_hit = cache.access(t_miss, 0, 64, False) - t_miss
+        assert t_hit < t_miss
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=100))
+    def test_residency_bounded_by_ways(self, line_indices):
+        cache, __ = make_cache(size=1024, ways=2, line=64)
+        for index in line_indices:
+            cache.access(0.0, index * 64, 64, False)
+        assert cache.resident_lines() <= cache.config.num_lines
+        for ways in cache._sets:
+            assert len(ways) <= cache.config.ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=60))
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        cache, __ = make_cache()
+        for addr in addrs:
+            cache.access(0.0, addr, 32, False)
+        stats = cache.stats
+        assert stats.value("hits") + stats.value("misses") == stats.value("accesses")

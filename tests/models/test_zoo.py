@@ -1,0 +1,160 @@
+"""Model zoo tests: shapes, MACs and parameter counts of the five DNNs."""
+
+import pytest
+
+from repro.models import build_model, model_names
+from repro.models.bert import FFN, HEADS, HIDDEN
+
+
+class TestRegistry:
+    def test_all_five_models_present(self):
+        assert model_names() == ["alexnet", "bert", "mobilenetv2", "resnet50", "squeezenet"]
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            build_model("vgg16")
+
+    def test_case_insensitive(self):
+        assert build_model("ResNet50").name == "resnet50"
+
+    @pytest.mark.parametrize("name", ["resnet50", "alexnet", "squeezenet", "mobilenetv2", "bert"])
+    def test_models_validate(self, name):
+        graph = build_model(name)
+        graph.validate()
+        assert graph.outputs
+
+
+class TestResNet50:
+    def test_macs_match_published(self):
+        """He et al. report 3.8-4.1 GFLOPs (multiply-adds) at 224x224."""
+        graph = build_model("resnet50")
+        assert 3.8e9 <= graph.total_macs() <= 4.3e9
+
+    def test_parameter_count(self):
+        """~25.5M parameters."""
+        graph = build_model("resnet50")
+        assert 24e6 <= graph.total_weight_bytes() <= 27e6  # int8: bytes == params
+
+    def test_conv_count(self):
+        graph = build_model("resnet50")
+        assert graph.op_counts()["Conv"] == 53
+
+    def test_resadd_count(self):
+        graph = build_model("resnet50")
+        assert graph.op_counts()["Add"] == 16
+
+    def test_output_is_1000_classes(self):
+        graph = build_model("resnet50")
+        assert graph.tensor(graph.outputs[0]).shape == (1, 1000)
+
+    def test_scales_with_input(self):
+        small = build_model("resnet50", input_hw=112)
+        full = build_model("resnet50", input_hw=224)
+        assert full.total_macs() > 3 * small.total_macs()
+
+
+class TestAlexNet:
+    def test_macs(self):
+        """Single-tower AlexNet: ~1.13 GMACs."""
+        graph = build_model("alexnet")
+        assert 1.0e9 <= graph.total_macs() <= 1.3e9
+
+    def test_parameters_dominated_by_fc(self):
+        """~62M parameters, mostly in the fully connected layers."""
+        graph = build_model("alexnet")
+        assert 58e6 <= graph.total_weight_bytes() <= 66e6
+
+    def test_five_convs_three_fcs(self):
+        counts = build_model("alexnet").op_counts()
+        assert counts["Conv"] == 5
+        assert counts["Gemm"] == 3
+
+
+class TestSqueezeNet:
+    def test_macs(self):
+        """SqueezeNet v1.1: ~0.35 GMACs."""
+        graph = build_model("squeezenet")
+        assert 0.30e9 <= graph.total_macs() <= 0.40e9
+
+    def test_tiny_parameter_count(self):
+        """The design goal: ~1.2M parameters."""
+        graph = build_model("squeezenet")
+        assert graph.total_weight_bytes() <= 1.5e6
+
+    def test_eight_fire_modules(self):
+        counts = build_model("squeezenet").op_counts()
+        assert counts["Concat"] == 8
+        assert counts["Conv"] == 26  # stem + 8 x (squeeze + 2 expands) + conv10
+
+
+class TestMobileNetV2:
+    def test_macs(self):
+        """~0.3 GMACs at 224x224."""
+        graph = build_model("mobilenetv2")
+        assert 0.27e9 <= graph.total_macs() <= 0.33e9
+
+    def test_parameter_count(self):
+        """~3.5M parameters."""
+        graph = build_model("mobilenetv2")
+        assert 3.0e6 <= graph.total_weight_bytes() <= 4.0e6
+
+    def test_depthwise_layers(self):
+        counts = build_model("mobilenetv2").op_counts()
+        assert counts["DepthwiseConv"] == 17
+
+    def test_residual_connections(self):
+        counts = build_model("mobilenetv2").op_counts()
+        assert counts["Add"] == 10
+
+    def test_dwconv_macs_small_fraction(self):
+        """Depthwise MACs are a small share but map poorly to the array."""
+        graph = build_model("mobilenetv2")
+        dw_macs = sum(
+            graph.node_macs(n) for n in graph.nodes if n.op == "DepthwiseConv"
+        )
+        assert dw_macs / graph.total_macs() < 0.15
+
+
+class TestBERT:
+    def test_macs_at_seq_128(self):
+        """BERT-base encoder at seq 128: ~11.2 GMACs."""
+        graph = build_model("bert", seq=128)
+        assert 10.5e9 <= graph.total_macs() <= 12.0e9
+
+    def test_parameter_count(self):
+        """Encoder stack: ~85M weight parameters (embeddings excluded)."""
+        graph = build_model("bert")
+        assert 80e6 <= graph.total_weight_bytes() <= 90e6
+
+    def test_layer_structure(self):
+        counts = build_model("bert", seq=64).op_counts()
+        assert counts["Gemm"] == 12 * 6  # q, k, v, proj, ff1, ff2
+        assert counts["MatMul"] == 12 * 2  # scores, context
+        assert counts["Softmax"] == 12
+        assert counts["LayerNorm"] == 24
+        assert counts["Gelu"] == 12
+
+    def test_attention_macs_exact(self):
+        """Folded attention preserves per-head MAC totals."""
+        seq = 64
+        graph = build_model("bert", seq=seq, layers=1)
+        scores = next(n for n in graph.nodes if n.name.endswith("_scores"))
+        ctx = next(n for n in graph.nodes if n.name.endswith("_ctx"))
+        per_head = seq * (HIDDEN // HEADS) * seq
+        assert graph.node_macs(scores) == HEADS * per_head
+        assert graph.node_macs(ctx) == HEADS * per_head
+
+    def test_softmax_covers_all_heads(self):
+        graph = build_model("bert", seq=64, layers=1)
+        softmax = next(n for n in graph.nodes if n.op == "Softmax")
+        assert softmax.attrs["batch"] == HEADS
+
+    def test_ffn_shapes(self):
+        graph = build_model("bert", seq=32, layers=1)
+        ff1 = next(n for n in graph.nodes if n.name.endswith("_ff1"))
+        assert graph.tensor(ff1.outputs[0]).shape == (32, FFN)
+
+    def test_seq_scaling(self):
+        short = build_model("bert", seq=64)
+        long = build_model("bert", seq=128)
+        assert long.total_macs() > 1.8 * short.total_macs()

@@ -1,0 +1,138 @@
+"""Unit tests for statistics primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, Histogram, RateWindow, StatsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_add_default(self):
+        c = Counter("c")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter("c")
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram("lat")
+        h.record(10)
+        h.record(20)
+        assert h.mean == pytest.approx(15.0)
+
+    def test_weighted_record(self):
+        h = Histogram("lat")
+        h.record(5, weight=3)
+        assert h.count == 3
+        assert h.mean == pytest.approx(5.0)
+
+    def test_min_max(self):
+        h = Histogram("lat")
+        for v in (7, 3, 9):
+            h.record(v)
+        assert h.min == 3
+        assert h.max == 9
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0
+
+    def test_percentile(self):
+        h = Histogram("lat")
+        for v in range(1, 11):
+            h.record(v)
+        assert h.percentile(0.5) == 5
+        assert h.percentile(1.0) == 10
+
+    def test_percentile_bounds(self):
+        h = Histogram("lat")
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        ts = TimeSeries("s")
+        ts.record(1.0, 0.5)
+        ts.record(2.0, 0.7)
+        assert len(ts) == 2
+        assert ts.last() == (2.0, 0.7)
+
+    def test_last_empty_raises(self):
+        ts = TimeSeries("s")
+        with pytest.raises(IndexError):
+            ts.last()
+
+
+class TestRateWindow:
+    def test_emits_once_per_window(self):
+        rw = RateWindow("miss", window=4)
+        for i in range(8):
+            rw.record(float(i), positive=(i % 2 == 0))
+        assert len(rw.series) == 2
+        assert rw.series.values == [0.5, 0.5]
+
+    def test_flush_partial_window(self):
+        rw = RateWindow("miss", window=10)
+        rw.record(0.0, True)
+        rw.record(1.0, False)
+        rw.flush(2.0)
+        assert len(rw.series) == 1
+        assert rw.series.values[0] == pytest.approx(0.5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RateWindow("miss", window=0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_rates_always_in_unit_interval(self, outcomes):
+        rw = RateWindow("miss", window=8)
+        for i, outcome in enumerate(outcomes):
+            rw.record(float(i), outcome)
+        rw.flush(float(len(outcomes)))
+        assert all(0.0 <= v <= 1.0 for v in rw.series.values)
+
+
+class TestStatsRegistry:
+    def test_counter_identity(self):
+        reg = StatsRegistry()
+        reg.counter("x").add(2)
+        assert reg.counter("x").value == 2
+        assert reg.value("x") == 2
+
+    def test_value_of_missing_counter_is_zero(self):
+        reg = StatsRegistry()
+        assert reg.value("missing") == 0
+
+    def test_ratio(self):
+        reg = StatsRegistry()
+        reg.counter("hits").add(3)
+        reg.counter("total").add(4)
+        assert reg.ratio("hits", "total") == pytest.approx(0.75)
+        assert reg.ratio("hits", "nonexistent") == 0.0
+
+    def test_reset_clears_everything(self):
+        reg = StatsRegistry()
+        reg.counter("a").add()
+        reg.histogram("h").record(1)
+        reg.timeseries("t").record(0.0, 1.0)
+        reg.reset()
+        assert reg.value("a") == 0
+        assert reg.histogram("h").count == 0
+        assert len(reg.timeseries("t")) == 0
+
+    def test_snapshot(self):
+        reg = StatsRegistry()
+        reg.counter("a").add(1)
+        reg.counter("b").add(2)
+        assert reg.snapshot() == {"a": 1, "b": 2}

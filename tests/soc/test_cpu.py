@@ -1,0 +1,79 @@
+"""Unit tests for the host-CPU cost models."""
+
+import pytest
+
+from repro.soc.cpu import BOOM, ROCKET, CPUModel, cpu_by_name
+
+
+class TestCostModel:
+    def test_conv_scales_with_macs(self):
+        assert ROCKET.conv_cycles(2000) == 2 * ROCKET.conv_cycles(1000)
+
+    def test_all_kernels_positive(self):
+        for fn in (
+            ROCKET.conv_cycles,
+            ROCKET.dwconv_cycles,
+            ROCKET.matmul_cycles,
+            ROCKET.im2col_cycles,
+            ROCKET.elementwise_cycles,
+            ROCKET.pool_cycles,
+            ROCKET.softmax_cycles,
+            ROCKET.layernorm_cycles,
+            ROCKET.gelu_cycles,
+        ):
+            assert fn(100) > 0
+
+    def test_boom_faster_than_rocket_everywhere(self):
+        for kernel in (
+            "conv_cycles",
+            "dwconv_cycles",
+            "matmul_cycles",
+            "im2col_cycles",
+            "elementwise_cycles",
+            "pool_cycles",
+            "softmax_cycles",
+            "layernorm_cycles",
+            "gelu_cycles",
+        ):
+            assert getattr(BOOM, kernel)(10000) < getattr(ROCKET, kernel)(10000)
+
+    def test_calibrated_conv_ratio(self):
+        """The paper's 2,670x / 1,130x anchors imply a 2.36x conv ratio."""
+        ratio = ROCKET.conv_cpe / BOOM.conv_cpe
+        assert ratio == pytest.approx(2.36, rel=0.01)
+
+    def test_im2col_host_ratio_near_two(self):
+        """BOOM performs im2col ~2x faster (the Figure 7 host-CPU effect)."""
+        assert ROCKET.im2col_cpe / BOOM.im2col_cpe == pytest.approx(2.0)
+
+    def test_dispatch_and_rocc(self):
+        assert ROCKET.dispatch(3) == 3 * ROCKET.dispatch_cycles
+        assert ROCKET.rocc_issue(5) == 5 * ROCKET.rocc_issue_cycles
+
+    def test_scaled_model(self):
+        fast = ROCKET.scaled(2.0)
+        assert fast.conv_cycles(1000) == pytest.approx(ROCKET.conv_cycles(1000) / 2)
+        assert "x2" in fast.name
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ROCKET.scaled(0)
+
+    def test_lookup_by_name(self):
+        assert cpu_by_name("rocket") is ROCKET
+        assert cpu_by_name("BOOM") is BOOM
+        with pytest.raises(ValueError):
+            cpu_by_name("z80")
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            ROCKET.conv_cpe = 1.0  # type: ignore[misc]
+
+    def test_custom_model(self):
+        tiny = CPUModel(
+            name="tiny",
+            conv_cpe=1, dwconv_cpe=1, matmul_cpe=1, im2col_cpe=1,
+            elementwise_cpe=1, pool_cpe=1, softmax_cpe=1, layernorm_cpe=1,
+            gelu_cpe=1, dispatch_cycles=0, rocc_issue_cycles=0,
+        )
+        assert tiny.conv_cycles(42) == 42

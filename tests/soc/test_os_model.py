@@ -1,0 +1,70 @@
+"""Unit tests for the OS time-slicing model."""
+
+import pytest
+
+from repro.soc.os_model import OSConfig, OSModel
+
+
+class TestOSConfig:
+    def test_defaults_disabled(self):
+        assert not OSConfig().enabled
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            OSConfig(quantum_cycles=0)
+
+    def test_negative_switch_cost(self):
+        with pytest.raises(ValueError):
+            OSConfig(context_switch_cycles=-1)
+
+
+class TestOSModel:
+    def test_disabled_never_switches(self):
+        os_model = OSModel(OSConfig(enabled=False))
+        overhead, flush = os_model.check(1e12)
+        assert overhead == 0.0
+        assert not flush
+
+    def test_no_switch_before_quantum(self):
+        os_model = OSModel(OSConfig(enabled=True, quantum_cycles=1000))
+        overhead, flush = os_model.check(999.0)
+        assert overhead == 0.0
+        assert not flush
+
+    def test_switch_at_quantum(self):
+        cfg = OSConfig(enabled=True, quantum_cycles=1000, context_switch_cycles=50)
+        os_model = OSModel(cfg)
+        overhead, flush = os_model.check(1000.0)
+        assert overhead == 50.0
+        assert flush
+
+    def test_multiple_elapsed_quanta(self):
+        cfg = OSConfig(enabled=True, quantum_cycles=1000, context_switch_cycles=50)
+        os_model = OSModel(cfg)
+        overhead, __ = os_model.check(3500.0)
+        assert overhead == 150.0  # three switches
+        assert os_model.stats.value("context_switches") == 3
+
+    def test_next_quantum_advances(self):
+        cfg = OSConfig(enabled=True, quantum_cycles=1000, context_switch_cycles=50)
+        os_model = OSModel(cfg)
+        os_model.check(1000.0)
+        overhead, __ = os_model.check(1500.0)
+        assert overhead == 0.0
+        overhead, __ = os_model.check(2000.0)
+        assert overhead == 50.0
+
+    def test_flush_configurable(self):
+        cfg = OSConfig(enabled=True, quantum_cycles=10, flush_tlb_on_switch=False)
+        os_model = OSModel(cfg)
+        __, flush = os_model.check(10.0)
+        assert not flush
+
+    def test_reset(self):
+        cfg = OSConfig(enabled=True, quantum_cycles=1000)
+        os_model = OSModel(cfg)
+        os_model.check(5000.0)
+        os_model.reset()
+        overhead, __ = os_model.check(999.0)
+        assert overhead == 0.0
+        assert os_model.stats.value("context_switches") == 0

@@ -1,0 +1,83 @@
+"""Unit tests for SoC composition."""
+
+import pytest
+
+from repro.core.config import default_config
+from repro.mem.hierarchy import MemorySystemConfig
+from repro.soc.cpu import ROCKET
+from repro.soc.soc import SoC, SoCConfig, make_soc
+
+
+class TestSoCConfig:
+    def test_defaults(self):
+        cfg = SoCConfig()
+        assert cfg.num_tiles == 1
+        assert cfg.cpu_names == ("rocket",)
+
+    def test_invalid_tile_count(self):
+        with pytest.raises(ValueError):
+            SoCConfig(num_tiles=0)
+
+    def test_cpu_names_must_match_tiles(self):
+        with pytest.raises(ValueError):
+            SoCConfig(num_tiles=3, cpu_names=("rocket", "boom"))
+
+
+class TestSoC:
+    def test_single_tile(self):
+        soc = make_soc()
+        assert len(soc.tiles) == 1
+        assert soc.tile.cpu is ROCKET
+        assert soc.tile.accel.mem is soc.mem
+
+    def test_dual_tile_shares_memory(self):
+        soc = make_soc(num_tiles=2)
+        a, b = soc.tiles
+        assert a.accel.mem is b.accel.mem
+        assert a.accel is not b.accel
+        assert a.vm is not b.vm
+
+    def test_per_tile_cpu_mix(self):
+        soc = SoC(SoCConfig(num_tiles=2, cpu_names=("rocket", "boom")))
+        assert soc.tiles[0].cpu.name == "rocket"
+        assert soc.tiles[1].cpu.name == "boom"
+
+    def test_global_ptw_shared(self):
+        soc = SoC(SoCConfig(num_tiles=2, global_ptw=True))
+        assert soc.tiles[0].accel.xlat.ptw is soc.tiles[1].accel.xlat.ptw
+
+    def test_per_tile_ptw(self):
+        soc = SoC(SoCConfig(num_tiles=2, global_ptw=False))
+        assert soc.tiles[0].accel.xlat.ptw is not soc.tiles[1].accel.xlat.ptw
+
+    def test_address_spaces_disjoint(self):
+        soc = make_soc(num_tiles=2)
+        a = soc.tiles[0].vm.alloc(4096, "x")
+        b = soc.tiles[1].vm.alloc(4096, "x")
+        assert a != b
+        # Physical frames differ as well (per-asid scattering).
+        assert soc.tiles[0].vm.translate(a) != soc.tiles[1].vm.translate(b)
+
+    def test_custom_cpu_object(self):
+        custom = ROCKET.scaled(3.0, name="turbo")
+        soc = make_soc(cpu=custom)
+        assert soc.tile.cpu.name == "turbo"
+
+    def test_reset(self):
+        soc = make_soc()
+        soc.mem.access(0.0, 0, 64, False)
+        soc.reset()
+        assert soc.mem.dram.bytes_moved == 0
+
+    def test_l2_miss_rate_passthrough(self):
+        soc = make_soc()
+        assert soc.l2_miss_rate() == 0.0
+        soc.mem.access(0.0, 0, 64, False)
+        assert soc.l2_miss_rate() == 1.0
+
+    def test_custom_gemmini_and_mem(self):
+        gem = default_config().with_im2col(True)
+        mem = MemorySystemConfig(bus_beat_bytes=32)
+        soc = make_soc(gemmini=gem, mem=mem)
+        assert soc.tile.accel.config.has_im2col
+        assert soc.mem.bus.beat_bytes == 32

@@ -1,0 +1,174 @@
+"""Unit tests for the graph IR and shape inference."""
+
+import pytest
+
+from repro.sw.graph import Graph, GraphError, Node, TensorSpec
+
+
+def simple_conv_graph():
+    g = Graph("t")
+    g.add_input("x", (8, 8, 3))
+    g.add_weight("w", (3, 3, 3, 16))
+    g.add_node("Conv", "conv", ["x", "w"], "y",
+               attrs={"kernel": 3, "stride": 1, "padding": 1, "out_ch": 16})
+    g.mark_output("y")
+    return g
+
+
+class TestTensorSpec:
+    def test_elements(self):
+        assert TensorSpec("t", (2, 3, 4)).elements == 24
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", (2, 0))
+
+    def test_needs_name(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", (1,))
+
+
+class TestNode:
+    def test_unsupported_op(self):
+        with pytest.raises(ValueError):
+            Node("n", "Softplus", ["x"], ["y"])
+
+
+class TestShapeInference:
+    def test_conv_same_padding(self):
+        g = simple_conv_graph()
+        assert g.tensor("y").shape == (8, 8, 16)
+
+    def test_conv_stride(self):
+        g = Graph("t")
+        g.add_input("x", (9, 9, 4))
+        g.add_weight("w", (3, 3, 4, 8))
+        g.add_node("Conv", "c", ["x", "w"], "y",
+                   attrs={"kernel": 3, "stride": 2, "out_ch": 8})
+        assert g.tensor("y").shape == (4, 4, 8)
+
+    def test_depthwise_keeps_channels(self):
+        g = Graph("t")
+        g.add_input("x", (8, 8, 12))
+        g.add_weight("w", (3, 3, 12))
+        g.add_node("DepthwiseConv", "dw", ["x", "w"], "y",
+                   attrs={"kernel": 3, "padding": 1})
+        assert g.tensor("y").shape == (8, 8, 12)
+
+    def test_gemm_shapes(self):
+        g = Graph("t")
+        g.add_input("x", (4, 10))
+        g.add_weight("w", (10, 7))
+        g.add_node("Gemm", "fc", ["x", "w"], "y")
+        assert g.tensor("y").shape == (4, 7)
+
+    def test_gemm_mismatch_rejected(self):
+        g = Graph("t")
+        g.add_input("x", (4, 10))
+        g.add_weight("w", (11, 7))
+        with pytest.raises(GraphError):
+            g.add_node("Gemm", "fc", ["x", "w"], "y")
+
+    def test_add_requires_same_shape(self):
+        g = Graph("t")
+        g.add_input("a", (4, 4, 8))
+        g.add_input("b", (4, 4, 9))
+        with pytest.raises(GraphError):
+            g.add_node("Add", "add", ["a", "b"], "y")
+
+    def test_pool_shapes(self):
+        g = Graph("t")
+        g.add_input("x", (8, 8, 4))
+        g.add_node("MaxPool", "p", ["x"], "y", attrs={"kernel": 2, "stride": 2})
+        assert g.tensor("y").shape == (4, 4, 4)
+
+    def test_global_pool(self):
+        g = Graph("t")
+        g.add_input("x", (7, 7, 64))
+        g.add_node("GlobalAveragePool", "p", ["x"], "y")
+        assert g.tensor("y").shape == (1, 1, 64)
+
+    def test_flatten(self):
+        g = Graph("t")
+        g.add_input("x", (2, 3, 4))
+        g.add_node("Flatten", "f", ["x"], "y")
+        assert g.tensor("y").shape == (1, 24)
+
+    def test_reshape_preserves_elements(self):
+        g = Graph("t")
+        g.add_input("x", (4, 6))
+        g.add_node("Reshape", "r", ["x"], "y", attrs={"shape": [8, 3]})
+        assert g.tensor("y").shape == (8, 3)
+
+    def test_reshape_bad_count(self):
+        g = Graph("t")
+        g.add_input("x", (4, 6))
+        with pytest.raises(GraphError):
+            g.add_node("Reshape", "r", ["x"], "y", attrs={"shape": [5, 5]})
+
+    def test_concat_channel_axis(self):
+        g = Graph("t")
+        g.add_input("a", (4, 4, 8))
+        g.add_input("b", (4, 4, 16))
+        g.add_node("Concat", "c", ["a", "b"], "y", attrs={"axis": -1})
+        assert g.tensor("y").shape == (4, 4, 24)
+
+    def test_concat_mismatched_rejected(self):
+        g = Graph("t")
+        g.add_input("a", (4, 4, 8))
+        g.add_input("b", (5, 4, 8))
+        with pytest.raises(GraphError):
+            g.add_node("Concat", "c", ["a", "b"], "y", attrs={"axis": -1})
+
+    def test_unknown_input_rejected(self):
+        g = Graph("t")
+        with pytest.raises(GraphError):
+            g.add_node("Relu", "r", ["ghost"], "y")
+
+    def test_duplicate_tensor_rejected(self):
+        g = Graph("t")
+        g.add_input("x", (4,))
+        with pytest.raises(GraphError):
+            g.add_input("x", (4,))
+
+
+class TestAccounting:
+    def test_conv_macs(self):
+        g = simple_conv_graph()
+        node = g.nodes[0]
+        assert g.node_macs(node) == 8 * 8 * 16 * 9 * 3
+
+    def test_gemm_macs(self):
+        g = Graph("t")
+        g.add_input("x", (4, 10))
+        g.add_weight("w", (10, 7))
+        g.add_node("Gemm", "fc", ["x", "w"], "y")
+        assert g.total_macs() == 4 * 10 * 7
+
+    def test_pointwise_ops_zero_macs(self):
+        g = Graph("t")
+        g.add_input("x", (4, 4, 8))
+        g.add_node("Relu", "r", ["x"], "y")
+        assert g.total_macs() == 0
+
+    def test_weight_bytes(self):
+        g = Graph("t")
+        g.add_input("x", (4, 10))
+        g.add_weight("w", (10, 7), dtype="int8")
+        g.add_weight("b", (7,), dtype="int32")
+        g.add_node("Gemm", "fc", ["x", "w"], "y")
+        assert g.total_weight_bytes() == 70 + 28
+
+    def test_op_counts(self):
+        g = simple_conv_graph()
+        assert g.op_counts() == {"Conv": 1}
+
+    def test_validate_passes(self):
+        simple_conv_graph().validate()
+
+    def test_validate_catches_missing_output(self):
+        g = Graph("t")
+        g.add_input("x", (4,))
+        g.outputs.append("nonexistent")
+        with pytest.raises(GraphError):
+            g.validate()

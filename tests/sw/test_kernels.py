@@ -1,0 +1,196 @@
+"""Unit tests for the macro-op kernels."""
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.peripherals import ConvParams, PoolParams
+from repro.soc.soc import make_soc
+from repro.sw.kernels import TileKernels
+
+
+@pytest.fixture
+def kernels():
+    soc = make_soc(gemmini=default_config().with_im2col(True))
+    vm = soc.tile.vm
+    vm.alloc(64 << 20, "arena")  # map a large arena for kernel streams
+    return TileKernels(soc.tile), soc
+
+
+BASE = 0x1000_0000
+
+
+class TestMatmulOps:
+    def test_op_stream_structure(self, kernels):
+        k, __ = kernels
+        ops = list(k.matmul_ops(BASE, BASE + (1 << 20), BASE + (2 << 20), 64, 64, 64))
+        units = [op.unit for op in ops]
+        # One iteration: load A, load B, exec, store.
+        assert units == ["load", "load", "exec", "store"]
+
+    def test_multi_tile_k_accumulates_before_store(self, kernels):
+        k, __ = kernels
+        ops = list(
+            k.matmul_ops(BASE, BASE + (1 << 20), BASE + (2 << 20), 64, 4096, 64)
+        )
+        stores = [op for op in ops if op.unit == "store"]
+        execs = [op for op in ops if op.unit == "exec"]
+        assert len(stores) == 1
+        assert len(execs) > 1  # several k-tiles accumulate into one C tile
+
+    def test_runs_to_completion(self, kernels):
+        k, __ = kernels
+        result = k.run_matmul(BASE, BASE + (1 << 20), BASE + (2 << 20), 256, 256, 256)
+        assert result.cycles > 0
+        assert result.macs == 256 ** 3
+
+    def test_bigger_matmul_takes_longer(self, kernels):
+        k, soc = kernels
+        small = k.run_matmul(BASE, BASE + (1 << 20), BASE + (2 << 20), 128, 128, 128)
+        big = k.run_matmul(BASE, BASE + (1 << 20), BASE + (2 << 20), 512, 512, 512)
+        assert big.cycles > small.cycles
+
+    def test_bias_adds_load(self, kernels):
+        k, __ = kernels
+        with_bias = list(
+            k.matmul_ops(BASE, BASE + (1 << 20), BASE + (2 << 20), 64, 64, 64,
+                         bias_vaddr=BASE + (3 << 20))
+        )
+        without = list(
+            k.matmul_ops(BASE, BASE + (1 << 20), BASE + (2 << 20), 64, 64, 64)
+        )
+        assert len(with_bias) == len(without) + 1
+
+    def test_dma_traffic_goes_through_l2(self, kernels):
+        k, soc = kernels
+        k.run_matmul(BASE, BASE + (1 << 20), BASE + (2 << 20), 256, 256, 256)
+        assert soc.mem.l2.stats.value("accesses") > 0
+
+    @pytest.mark.parametrize("m,k_dim,n", [(64, 64, 64), (300, 500, 700), (17, 33, 49)])
+    def test_store_traffic_exactly_covers_c(self, kernels, m, k_dim, n):
+        """Conservation: the kernel writes exactly M*N output bytes."""
+        k, __ = kernels
+        before = k.accel.dma.stats.value("bytes_written")
+        k.run_matmul(BASE, BASE + (8 << 20), BASE + (16 << 20), m, k_dim, n)
+        assert k.accel.dma.stats.value("bytes_written") - before == m * n
+
+    def test_load_traffic_at_least_operands(self, kernels):
+        """Reads cover A and B at least once (refetch only adds)."""
+        k, __ = kernels
+        m = k_dim = n = 512
+        before = k.accel.dma.stats.value("bytes_read")
+        k.run_matmul(BASE, BASE + (8 << 20), BASE + (16 << 20), m, k_dim, n)
+        read = k.accel.dma.stats.value("bytes_read") - before
+        assert read >= m * k_dim + k_dim * n
+
+    def test_manual_tiling_respected(self, kernels):
+        from repro.sw.tiling import manual_tiling
+
+        k, __ = kernels
+        tiling = manual_tiling(k.params, 128, 128, 128, 2, 2, 2)
+        ops = list(
+            k.matmul_ops(BASE, BASE + (1 << 20), BASE + (2 << 20), 128, 128, 128,
+                         tiling=tiling)
+        )
+        execs = [op for op in ops if op.unit == "exec"]
+        assert len(execs) == tiling.total_iterations
+
+
+class TestConvOps:
+    def conv(self):
+        return ConvParams(in_h=16, in_w=16, in_ch=32, out_ch=32, kernel=3, padding=1)
+
+    def test_accel_im2col_no_cpu_cost(self, kernels):
+        k, __ = kernels
+        ops, cpu_cycles = k.conv_ops(
+            self.conv(), BASE, BASE + (1 << 20), BASE + (2 << 20),
+            on_accel_im2col=True,
+        )
+        assert cpu_cycles == 0.0
+        assert len(list(ops)) > 0
+
+    def test_cpu_im2col_charges_host(self, kernels):
+        k, __ = kernels
+        conv = self.conv()
+        ops, cpu_cycles = k.conv_ops(
+            conv, BASE, BASE + (1 << 20), BASE + (2 << 20),
+            on_accel_im2col=False, im2col_vaddr=BASE + (3 << 20),
+        )
+        expected = k.tile.cpu.im2col_cycles(conv.num_patches * conv.patch_size)
+        assert cpu_cycles == pytest.approx(expected)
+        assert len(list(ops)) > 0
+
+    def test_accel_im2col_moves_less_data(self, kernels):
+        k, soc = kernels
+        conv = self.conv()
+        before = soc.mem.bus.stats.value("bytes")
+        ops, __c = k.conv_ops(conv, BASE, BASE + (1 << 20), BASE + (2 << 20),
+                              on_accel_im2col=True)
+        k.run_ops(ops)
+        unit_bytes = soc.mem.bus.stats.value("bytes") - before
+
+        before = soc.mem.bus.stats.value("bytes")
+        ops, __c = k.conv_ops(conv, BASE, BASE + (1 << 20), BASE + (2 << 20),
+                              on_accel_im2col=False, im2col_vaddr=BASE + (3 << 20))
+        k.run_ops(ops)
+        cpu_bytes = soc.mem.bus.stats.value("bytes") - before
+        assert unit_bytes < cpu_bytes  # k^2 patch amplification avoided
+
+
+class TestDwconvOps:
+    def test_low_utilisation(self, kernels):
+        """Depthwise conv achieves a few percent of peak MACs/cycle."""
+        k, __ = kernels
+        conv = ConvParams(in_h=28, in_w=28, in_ch=96, out_ch=96, kernel=3, padding=1)
+        ops = list(k.dwconv_ops(conv, BASE, BASE + (1 << 20), BASE + (2 << 20)))
+        exec_cycles = sum(op.cycles for op in ops if op.unit == "exec")
+        macs = conv.num_patches * 9 * conv.in_ch
+        utilisation = macs / (exec_cycles * k.accel.config.num_pes)
+        assert utilisation < 0.10
+
+    def test_channel_grouping(self, kernels):
+        k, __ = kernels
+        conv = ConvParams(in_h=8, in_w=8, in_ch=512, out_ch=512, kernel=3, padding=1)
+        ops = list(k.dwconv_ops(conv, BASE, BASE + (1 << 20), BASE + (2 << 20)))
+        assert any(op.unit == "exec" for op in ops)
+        assert any(op.unit == "store" for op in ops)
+
+
+class TestResaddOps:
+    def test_memory_bound_structure(self, kernels):
+        k, __ = kernels
+        ops = list(k.resadd_ops(BASE, BASE + (1 << 20), BASE + (2 << 20), 65536))
+        units = [op.unit for op in ops]
+        assert units.count("load") == 2 * units.count("store")
+        assert "exec" not in units  # pure accumulator data movement
+
+    def test_invalid_elements(self, kernels):
+        k, __ = kernels
+        with pytest.raises(ValueError):
+            list(k.resadd_ops(BASE, BASE, BASE, 0))
+
+    def test_traffic_is_three_streams(self, kernels):
+        k, soc = kernels
+        elements = 1 << 20
+        before_rd = k.accel.dma.stats.value("bytes_read")
+        before_wr = k.accel.dma.stats.value("bytes_written")
+        k.run_resadd(BASE, BASE + (4 << 20), BASE + (8 << 20), elements)
+        assert k.accel.dma.stats.value("bytes_read") - before_rd == 2 * elements
+        assert k.accel.dma.stats.value("bytes_written") - before_wr == elements
+
+
+class TestPoolOps:
+    def test_pool_stream(self, kernels):
+        k, __ = kernels
+        pool = PoolParams(size=2, stride=2, in_h=16, in_w=16)
+        ops = list(k.pool_ops(pool, 64, BASE, BASE + (1 << 20)))
+        assert [op.unit for op in ops] == ["load", "exec", "store"]
+
+    def test_pool_requires_engine(self):
+        from dataclasses import replace
+
+        soc = make_soc(gemmini=replace(default_config(), has_pooling=False))
+        soc.tile.vm.alloc(1 << 20, "arena")
+        k = TileKernels(soc.tile)
+        pool = PoolParams(size=2, stride=2, in_h=8, in_w=8)
+        with pytest.raises(ValueError):
+            k.pool_cycles(pool, 16)

@@ -1,0 +1,96 @@
+"""Tests for the low-level programming interface (gemmini.h analogue)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import Accelerator
+from repro.core.config import GemminiConfig
+from repro.core.isa import Funct
+from repro.sw.lowlevel import GemminiProgramBuilder
+
+
+def small_cfg():
+    return GemminiConfig(
+        mesh_rows=4, mesh_cols=4, tile_rows=1, tile_cols=1,
+        sp_capacity_bytes=4 * 4 * 256, sp_banks=2,
+        acc_capacity_bytes=4 * 16 * 64, acc_banks=2,
+    )
+
+
+class TestBuilder:
+    def test_chaining(self):
+        b = GemminiProgramBuilder(small_cfg())
+        b.config_ex(dataflow_ws=True).config_ld(stride_bytes=4).fence()
+        assert len(b) == 3
+        assert b.build()[0].funct is Funct.CONFIG
+
+    def test_build_returns_copy(self):
+        b = GemminiProgramBuilder(small_cfg())
+        b.fence()
+        program = b.build()
+        b.flush()
+        assert len(program) == 1
+
+
+class TestTiledMatmulAuto:
+    def run_matmul(self, m, k, n, seed=0):
+        cfg = small_cfg()
+        accel = Accelerator(cfg)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-6, 6, size=(m, k)).astype(np.int8)
+        b = rng.integers(-6, 6, size=(k, n)).astype(np.int8)
+        accel.host.write_matrix(0x10000, a, k)
+        accel.host.write_matrix(0x20000, b, n)
+        builder = GemminiProgramBuilder(cfg)
+        builder.tiled_matmul_auto(0x10000, 0x20000, 0x30000, m, k, n)
+        accel.run_program(builder.build())
+        out = accel.host.read_matrix(0x30000, m, n, n, np.int8)
+        expected = np.clip(a.astype(np.int32) @ b.astype(np.int32), -128, 127)
+        return out, expected.astype(np.int8)
+
+    def test_single_block(self):
+        out, expected = self.run_matmul(4, 4, 4)
+        assert (out == expected).all()
+
+    def test_multi_block_square(self):
+        out, expected = self.run_matmul(8, 8, 8)
+        assert (out == expected).all()
+
+    def test_k_accumulation(self):
+        out, expected = self.run_matmul(4, 16, 4)
+        assert (out == expected).all()
+
+    def test_ragged_dimensions(self):
+        out, expected = self.run_matmul(6, 7, 5)
+        assert (out == expected).all()
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15)
+    def test_arbitrary_shapes_match_numpy(self, m, k, n, seed):
+        out, expected = self.run_matmul(m, k, n, seed)
+        assert (out == expected).all()
+
+    def test_oversized_operands_rejected(self):
+        builder = GemminiProgramBuilder(small_cfg())
+        with pytest.raises(ValueError):
+            builder.tiled_matmul_auto(0, 0, 0, 4096, 4096, 4096)
+
+    def test_relu_activation(self):
+        cfg = small_cfg()
+        accel = Accelerator(cfg)
+        a = -np.eye(4, dtype=np.int8) * 5
+        b = np.eye(4, dtype=np.int8)
+        accel.host.write_matrix(0x10000, a, 4)
+        accel.host.write_matrix(0x20000, b, 4)
+        builder = GemminiProgramBuilder(cfg)
+        builder.tiled_matmul_auto(0x10000, 0x20000, 0x30000, 4, 4, 4, activation=1)
+        accel.run_program(builder.build())
+        out = accel.host.read_matrix(0x30000, 4, 4, 4, np.int8)
+        assert (out >= 0).all()

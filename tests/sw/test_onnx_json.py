@@ -1,0 +1,61 @@
+"""Round-trip tests for the ONNX-subset JSON model format."""
+
+import pytest
+
+from repro.models import build_model
+from repro.sw.graph import GraphError
+from repro.sw.onnx_json import graph_from_json, graph_to_json, load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_simple_graph(self):
+        from tests.sw.test_graph import simple_conv_graph
+
+        g = simple_conv_graph()
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.name == g.name
+        assert restored.tensors.keys() == g.tensors.keys()
+        assert len(restored.nodes) == len(g.nodes)
+        assert restored.inputs == g.inputs
+        assert restored.outputs == g.outputs
+
+    @pytest.mark.parametrize("model", ["alexnet", "squeezenet"])
+    def test_zoo_models_round_trip(self, model):
+        g = build_model(model)
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.total_macs() == g.total_macs()
+        assert restored.total_weight_bytes() == g.total_weight_bytes()
+        for a, b in zip(g.nodes, restored.nodes):
+            assert a.op == b.op
+            assert a.attrs == b.attrs
+
+    def test_shapes_preserved(self):
+        g = build_model("bert", seq=32, layers=1)
+        restored = graph_from_json(graph_to_json(g))
+        for name, spec in g.tensors.items():
+            assert restored.tensor(name).shape == spec.shape
+
+    def test_file_round_trip(self, tmp_path):
+        g = build_model("alexnet", input_hw=64)
+        path = tmp_path / "alexnet.json"
+        save_graph(g, str(path))
+        restored = load_graph(str(path))
+        assert restored.total_macs() == g.total_macs()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_json("{not json")
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"schema": 99, "tensors": [], "nodes": []}')
+
+    def test_corrupt_graph_fails_validation(self):
+        from tests.sw.test_graph import simple_conv_graph
+
+        text = graph_to_json(simple_conv_graph())
+        # Make the conv node consume a tensor nothing produces.
+        broken = text.replace('["x", "w"]', '["ghost", "w"]')
+        assert broken != text
+        with pytest.raises(GraphError):
+            graph_from_json(broken)

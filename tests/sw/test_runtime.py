@@ -1,0 +1,185 @@
+"""Integration tests: compiled models executing on SoC tiles."""
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.generator import SoftwareParams
+from repro.models import build_model
+from repro.sim.engine import lockstep_merge
+from repro.soc.os_model import OSConfig
+from repro.soc.soc import make_soc
+from repro.sw.compiler import compile_graph
+from repro.sw.graph import Graph
+from repro.sw.runtime import Runtime, run_model_on_tile
+
+
+CFG = default_config().with_im2col(True)
+PARAMS = SoftwareParams.from_config(CFG)
+
+
+def tiny_cnn(hw=16):
+    g = Graph("tiny")
+    g.add_input("x", (hw, hw, 3))
+    g.add_weight("w1", (3, 3, 3, 8))
+    g.add_node("Conv", "c1", ["x", "w1"], "a",
+               attrs={"kernel": 3, "padding": 1, "out_ch": 8})
+    g.add_node("Relu", "r1", ["a"], "b")
+    g.add_weight("w2", (1, 1, 8, 8))
+    g.add_node("Conv", "c2", ["b", "w2"], "c", attrs={"kernel": 1, "out_ch": 8})
+    g.add_node("Add", "res", ["c", "b"], "d")
+    g.mark_output("d")
+    return g
+
+
+class TestAllocation:
+    def test_all_tensors_allocated(self):
+        soc = make_soc(gemmini=CFG)
+        model = compile_graph(tiny_cnn(), PARAMS)
+        rt = Runtime(soc.tile, model)
+        for name in model.tensor_bytes:
+            assert rt.addr(name) > 0
+        for name in model.weight_bytes:
+            assert rt.addr(name) > 0
+
+    def test_unknown_tensor_raises(self):
+        soc = make_soc(gemmini=CFG)
+        rt = Runtime(soc.tile, compile_graph(tiny_cnn(), PARAMS))
+        with pytest.raises(KeyError):
+            rt.addr("ghost")
+
+    def test_view_aliases_input(self):
+        g = Graph("v")
+        g.add_input("x", (4, 6))
+        g.add_node("Reshape", "r", ["x"], "y", attrs={"shape": [6, 4]})
+        g.add_weight("w", (4, 2))
+        g.add_node("Gemm", "fc", ["y", "w"], "z")
+        g.mark_output("z")
+        soc = make_soc(gemmini=CFG)
+        rt = Runtime(soc.tile, compile_graph(g, PARAMS))
+        assert rt.addr("y") == rt.addr("x")
+
+    def test_concat_inputs_alias_slices(self):
+        g = Graph("c")
+        g.add_input("x", (4, 4, 8))
+        g.add_weight("wl", (1, 1, 8, 8))
+        g.add_weight("wr", (1, 1, 8, 16))
+        g.add_node("Conv", "left", ["x", "wl"], "l", attrs={"kernel": 1, "out_ch": 8})
+        g.add_node("Conv", "right", ["x", "wr"], "r", attrs={"kernel": 1, "out_ch": 16})
+        g.add_node("Concat", "cat", ["l", "r"], "y", attrs={"axis": -1})
+        g.mark_output("y")
+        soc = make_soc(gemmini=CFG)
+        model = compile_graph(g, PARAMS)
+        rt = Runtime(soc.tile, model)
+        base = rt.addr("y")
+        assert rt.addr("l") == base
+        assert rt.addr("r") == base + model.tensor_bytes["l"]
+
+    def test_im2col_scratch_allocated_when_needed(self):
+        cfg = default_config()  # no im2col unit
+        soc = make_soc(gemmini=cfg)
+        model = compile_graph(tiny_cnn(), SoftwareParams.from_config(cfg))
+        rt = Runtime(soc.tile, model, use_accel_im2col=False)
+        assert rt._im2col_vaddr is not None
+
+    def test_im2col_request_without_unit_rejected(self):
+        cfg = default_config()
+        soc = make_soc(gemmini=cfg)
+        model = compile_graph(tiny_cnn(), SoftwareParams.from_config(cfg))
+        with pytest.raises(ValueError):
+            Runtime(soc.tile, model, use_accel_im2col=True)
+
+
+class TestExecution:
+    def test_tiny_model_runs(self):
+        soc = make_soc(gemmini=CFG)
+        result = run_model_on_tile(soc.tile, compile_graph(tiny_cnn(), PARAMS))
+        assert result.total_cycles > 0
+        assert len(result.layers) == 3  # conv+relu fused, conv, resadd
+        assert result.macro_ops > 0
+
+    def test_layer_kinds_recorded(self):
+        soc = make_soc(gemmini=CFG)
+        result = run_model_on_tile(soc.tile, compile_graph(tiny_cnn(), PARAMS))
+        kinds = [layer.kind for layer in result.layers]
+        assert kinds == ["conv", "conv", "resadd"]
+
+    def test_marginal_cycles_sum_to_total(self):
+        soc = make_soc(gemmini=CFG)
+        result = run_model_on_tile(soc.tile, compile_graph(tiny_cnn(), PARAMS))
+        assert sum(layer.cycles for layer in result.layers) == pytest.approx(
+            result.total_cycles, rel=1e-6
+        )
+
+    def test_fps_computation(self):
+        soc = make_soc(gemmini=CFG)
+        result = run_model_on_tile(soc.tile, compile_graph(tiny_cnn(), PARAMS))
+        assert result.fps(1.0) == pytest.approx(1e9 / result.total_cycles)
+
+    def test_sync_per_layer_not_faster(self):
+        model = compile_graph(tiny_cnn(32), PARAMS)
+        free = run_model_on_tile(make_soc(gemmini=CFG).tile, model)
+        soc2 = make_soc(gemmini=CFG)
+        synced = Runtime(soc2.tile, compile_graph(tiny_cnn(32), PARAMS),
+                         sync_per_layer=True).run()
+        assert synced.total_cycles >= free.total_cycles * 0.99
+
+    def test_cpu_layer_advances_clock(self):
+        g = Graph("s")
+        g.add_input("x", (8, 64))
+        g.add_node("Softmax", "sm", ["x"], "y")
+        g.mark_output("y")
+        soc = make_soc(gemmini=CFG)
+        result = run_model_on_tile(soc.tile, compile_graph(g, PARAMS))
+        expected = soc.tile.cpu.softmax_cycles(8 * 64)
+        assert result.total_cycles >= expected
+
+    def test_os_context_switches_flush_tlb(self):
+        os_cfg = OSConfig(enabled=True, quantum_cycles=500, context_switch_cycles=100)
+        soc = make_soc(gemmini=CFG, os=os_cfg)
+        model = compile_graph(tiny_cnn(32), PARAMS)
+        run_model_on_tile(soc.tile, model)
+        assert soc.tile.os.stats.value("context_switches") > 0
+        assert soc.tile.accel.xlat.stats.value("flushes") > 0
+
+    def test_layer_lookup(self):
+        soc = make_soc(gemmini=CFG)
+        result = run_model_on_tile(soc.tile, compile_graph(tiny_cnn(), PARAMS))
+        assert result.layer("res").kind == "resadd"
+        with pytest.raises(KeyError):
+            result.layer("nope")
+
+
+class TestMultiCore:
+    def test_dual_core_lockstep(self):
+        soc = make_soc(gemmini=CFG, num_tiles=2)
+        runtimes = []
+        for tile in soc.tiles:
+            runtimes.append(Runtime(tile, compile_graph(tiny_cnn(32), PARAMS)))
+        ends = lockstep_merge([rt.run_generator() for rt in runtimes])
+        assert len(ends) == 2
+        assert all(end > 0 for end in ends)
+        assert runtimes[0].result.total_cycles > 0
+        assert runtimes[1].result.total_cycles > 0
+
+    def test_contention_slows_execution(self):
+        solo = make_soc(gemmini=CFG)
+        solo_result = run_model_on_tile(solo.tile, compile_graph(tiny_cnn(32), PARAMS))
+
+        duo = make_soc(gemmini=CFG, num_tiles=2)
+        runtimes = [
+            Runtime(tile, compile_graph(tiny_cnn(32), PARAMS)) for tile in duo.tiles
+        ]
+        ends = lockstep_merge([rt.run_generator() for rt in runtimes])
+        assert max(ends) >= solo_result.total_cycles
+
+    def test_small_cnn_end_to_end_sharing(self):
+        """Both tiles finish and the shared L2 saw traffic from each."""
+        soc = make_soc(gemmini=CFG, num_tiles=2)
+        runtimes = [
+            Runtime(tile, compile_graph(tiny_cnn(16), PARAMS)) for tile in soc.tiles
+        ]
+        lockstep_merge([rt.run_generator() for rt in runtimes])
+        stats = soc.mem.l2.stats
+        g0 = stats.value("hits_gemmini0") + stats.value("misses_gemmini0")
+        g1 = stats.value("hits_gemmini1") + stats.value("misses_gemmini1")
+        assert g0 > 0 and g1 > 0

@@ -1,0 +1,128 @@
+"""Unit and property tests for the tile-size heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import default_config, GemminiConfig
+from repro.core.generator import SoftwareParams
+from repro.sw.tiling import MatmulTiling, manual_tiling, plan_matmul_tiling
+
+
+PARAMS = SoftwareParams.from_config(default_config())
+
+
+class TestMatmulTiling:
+    def test_tile_extents(self):
+        t = MatmulTiling(i_blocks=2, j_blocks=3, k_blocks=4, dim=16, m=100, k=200, n=300)
+        assert t.tile_m == 32
+        assert t.tile_n == 48
+        assert t.tile_k == 64
+
+    def test_outer_trip_counts(self):
+        t = MatmulTiling(i_blocks=2, j_blocks=2, k_blocks=2, dim=16, m=100, k=64, n=64)
+        assert t.outer_i == 4  # ceil(100/32)
+        assert t.outer_k == 2
+        assert t.outer_j == 2
+        assert t.total_iterations == 16
+
+    def test_clipped_edges(self):
+        t = MatmulTiling(i_blocks=2, j_blocks=2, k_blocks=2, dim=16, m=40, k=40, n=40)
+        m, k, n = t.clipped(t.outer_i - 1, t.outer_j - 1, t.outer_k - 1)
+        assert m == 8  # 40 - 32
+        assert k == 8
+        assert n == 8
+
+    def test_footprints(self):
+        t = MatmulTiling(i_blocks=2, j_blocks=3, k_blocks=4, dim=16, m=64, k=128, n=96)
+        assert t.sp_rows_used() == (2 * 4 + 4 * 3) * 16
+        assert t.acc_rows_used() == 2 * 3 * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatmulTiling(0, 1, 1, 16, 10, 10, 10)
+        with pytest.raises(ValueError):
+            MatmulTiling(1, 1, 1, 16, 0, 10, 10)
+
+
+class TestPlanHeuristic:
+    def test_small_matmul_single_tile(self):
+        t = plan_matmul_tiling(PARAMS, 16, 16, 16)
+        assert t.total_iterations == 1
+
+    def test_fits_scratchpad_budget(self):
+        t = plan_matmul_tiling(PARAMS, 4096, 4096, 4096)
+        assert t.sp_rows_used() <= PARAMS.sp_rows // 2
+        assert t.acc_rows_used() <= PARAMS.acc_rows // 2
+
+    def test_never_exceeds_matrix_extent(self):
+        t = plan_matmul_tiling(PARAMS, 20, 20, 20)
+        assert t.i_blocks <= 2
+        assert t.j_blocks <= 2
+        assert t.k_blocks <= 2
+
+    def test_maximises_utilisation(self):
+        """The heuristic should leave no room to grow any dimension."""
+        t = plan_matmul_tiling(PARAMS, 10000, 10000, 10000)
+        budget_sp = PARAMS.sp_rows // 2
+        budget_acc = PARAMS.acc_rows // 2
+        for di, dj, dk in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+            sp = ((t.i_blocks + di) * (t.k_blocks + dk)
+                  + (t.k_blocks + dk) * (t.j_blocks + dj)) * 16
+            acc = (t.i_blocks + di) * (t.j_blocks + dj) * 16
+            assert sp > budget_sp or acc > budget_acc
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            plan_matmul_tiling(PARAMS, 0, 4, 4)
+
+    def test_tiny_scratchpad_rejected(self):
+        cfg = GemminiConfig(
+            sp_capacity_bytes=16 * 16 * 2,  # 2 rows only
+            sp_banks=1,
+            acc_capacity_bytes=16 * 64,
+            acc_banks=1,
+        )
+        params = SoftwareParams.from_config(cfg)
+        with pytest.raises(ValueError):
+            plan_matmul_tiling(params, 64, 64, 64)
+
+    def test_no_double_buffer_doubles_budget(self):
+        small = plan_matmul_tiling(PARAMS, 8192, 8192, 8192, double_buffer=True)
+        big = plan_matmul_tiling(PARAMS, 8192, 8192, 8192, double_buffer=False)
+        assert big.sp_rows_used() >= small.sp_rows_used()
+
+    def test_max_blocks_cap(self):
+        t = plan_matmul_tiling(PARAMS, 8192, 8192, 8192, max_blocks=2)
+        assert max(t.i_blocks, t.j_blocks, t.k_blocks) <= 2
+
+    @given(
+        st.integers(min_value=1, max_value=3000),
+        st.integers(min_value=1, max_value=3000),
+        st.integers(min_value=1, max_value=3000),
+    )
+    @settings(max_examples=40)
+    def test_always_fits_and_covers(self, m, k, n):
+        t = plan_matmul_tiling(PARAMS, m, k, n)
+        assert t.sp_rows_used() <= PARAMS.sp_rows // 2
+        assert t.acc_rows_used() <= PARAMS.acc_rows // 2
+        # Outer loops cover the full extents.
+        assert t.outer_i * t.tile_m >= m
+        assert t.outer_j * t.tile_n >= n
+        assert t.outer_k * t.tile_k >= k
+
+
+class TestManualTiling:
+    def test_accepts_fitting_tiles(self):
+        t = manual_tiling(PARAMS, 256, 256, 256, 4, 4, 4)
+        assert t.i_blocks == 4
+
+    def test_rejects_oversized_tiles(self):
+        with pytest.raises(ValueError):
+            manual_tiling(PARAMS, 10000, 10000, 10000, 64, 64, 64)
+
+    def test_rejects_acc_overflow(self):
+        # Accumulator budget (default 64 KB -> 1024 rows, half = 512) caps
+        # i*j at 32 blocks.
+        with pytest.raises(ValueError):
+            manual_tiling(PARAMS, 2048, 64, 2048, 16, 16, 1)

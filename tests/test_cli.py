@@ -1,0 +1,80 @@
+"""CLI tests: every subcommand through the public entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_emits_header(self, capsys):
+        assert main(["generate", "--dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "#define DIM 8" in out
+        assert "typedef int8_t elem_t;" in out
+
+    def test_config_knobs(self, capsys):
+        main(["generate", "--dim", "16", "--sp-kb", "512", "--no-im2col"])
+        out = capsys.readouterr().out
+        assert "#define SP_CAPACITY_BYTES 524288" in out
+        assert "#define HAS_IM2COL 0" in out
+
+
+class TestModels:
+    def test_lists_all_five(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("resnet50", "alexnet", "squeezenet", "mobilenetv2", "bert"):
+            assert name in out
+
+
+class TestRun:
+    def test_runs_small_model(self, capsys):
+        assert main(["run", "squeezenet", "--input-hw", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out
+        assert "energy:" in out
+        assert "conv" in out
+
+    def test_baseline_flag(self, capsys):
+        main(["run", "squeezenet", "--input-hw", "64", "--baseline"])
+        out = capsys.readouterr().out
+        assert "speedup vs rocket baseline" in out
+
+    def test_boom_host(self, capsys):
+        main(["run", "squeezenet", "--input-hw", "64", "--cpu", "boom"])
+        assert "cycles:" in capsys.readouterr().out
+
+    def test_bert_seq(self, capsys):
+        main(["run", "bert", "--seq", "16"])
+        assert "matmul" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "lenet"])
+
+
+class TestArea:
+    def test_breakdown(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "scratchpad" in out
+        assert "fmax" in out
+
+    def test_no_cpu(self, capsys):
+        main(["area", "--cpu", "none"])
+        out = capsys.readouterr().out
+        assert "cpu" in out
+
+
+class TestTable1:
+    def test_matrix(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Gemmini" in out
+        assert "Virtual Memory" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
