@@ -16,21 +16,20 @@ from repro.sw.kernels import TileKernels
 WIDTHS = (8, 16, 32, 64)
 
 
-def test_ablation_dma_bus_width(benchmark, emit):
-    def run():
-        rows = []
-        for width in WIDTHS:
-            cfg = replace(default_config().with_im2col(True), dma_bus_bytes=width)
-            soc = make_soc(gemmini=cfg)
-            soc.tile.vm.alloc(32 << 20, "arena")
-            kernels = TileKernels(soc.tile)
-            base = 0x1000_0000
-            resadd = kernels.run_resadd(base, base + (8 << 20), base + (16 << 20), 1 << 20)
-            matmul = kernels.run_matmul(base, base + (8 << 20), base + (16 << 20), 512, 512, 512)
-            rows.append((width, resadd.cycles, matmul.cycles))
-        return rows
+def bench_point(width: int) -> tuple:
+    """One sweep point (module-level so the runner can fan it out)."""
+    cfg = replace(default_config().with_im2col(True), dma_bus_bytes=width)
+    soc = make_soc(gemmini=cfg)
+    soc.tile.vm.alloc(32 << 20, "arena")
+    kernels = TileKernels(soc.tile)
+    base = 0x1000_0000
+    resadd = kernels.run_resadd(base, base + (8 << 20), base + (16 << 20), 1 << 20)
+    matmul = kernels.run_matmul(base, base + (8 << 20), base + (16 << 20), 512, 512, 512)
+    return (width, resadd.cycles, matmul.cycles)
 
-    rows = once(benchmark, run)
+
+def test_ablation_dma_bus_width(benchmark, emit, runner):
+    rows = once(benchmark, lambda: runner.map(bench_point, WIDTHS, label="ablation_bus"))
     text = format_table(
         ["bus (B/cycle)", "resadd 1M elems (cycles)", "matmul 512^3 (cycles)"],
         [(w, f"{r:.0f}", f"{m:.0f}") for w, r, m in rows],

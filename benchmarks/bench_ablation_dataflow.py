@@ -21,18 +21,19 @@ SHAPES = [
 ]
 
 
-def test_ablation_dataflow(benchmark, emit):
+def dataflow_rows() -> list[tuple]:
+    """Cycle costs for every shape (module-level so the runner can cache it)."""
     model = SpatialArrayModel(default_config())
+    rows = []
+    for m, k, n in SHAPES:
+        ws = model.matmul_cost(m, k, n, Dataflow.WS).total
+        os_cost = model.matmul_cost(m, k, n, Dataflow.OS).total
+        rows.append((f"{m}x{k}x{n}", ws, os_cost, os_cost / ws))
+    return rows
 
-    def run():
-        rows = []
-        for m, k, n in SHAPES:
-            ws = model.matmul_cost(m, k, n, Dataflow.WS).total
-            os_cost = model.matmul_cost(m, k, n, Dataflow.OS).total
-            rows.append((f"{m}x{k}x{n}", ws, os_cost, os_cost / ws))
-        return rows
 
-    rows = once(benchmark, run)
+def test_ablation_dataflow(benchmark, emit, runner):
+    rows = once(benchmark, lambda: runner.run(dataflow_rows))
     text = format_table(
         ["shape (MxKxN)", "WS cycles", "OS cycles", "OS/WS"],
         rows,

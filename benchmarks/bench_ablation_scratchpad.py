@@ -19,23 +19,23 @@ from repro.sw.runtime import run_model_on_tile
 CAPACITIES_KB = (128, 256, 512)
 
 
-def test_ablation_scratchpad_capacity(benchmark, emit):
+def bench_point(kb: int) -> tuple:
+    """One sweep point (module-level so the runner can fan it out)."""
     graph = build_model("squeezenet", input_hw=128)
+    cfg = replace(
+        default_config().with_im2col(True),
+        sp_capacity_bytes=kb * 1024,
+    )
+    soc = make_soc(gemmini=cfg)
+    model = compile_graph(graph, SoftwareParams.from_config(cfg))
+    result = run_model_on_tile(soc.tile, model)
+    return (kb, result.total_cycles, soc.mem.dram.bytes_moved)
 
-    def run():
-        rows = []
-        for kb in CAPACITIES_KB:
-            cfg = replace(
-                default_config().with_im2col(True),
-                sp_capacity_bytes=kb * 1024,
-            )
-            soc = make_soc(gemmini=cfg)
-            model = compile_graph(graph, SoftwareParams.from_config(cfg))
-            result = run_model_on_tile(soc.tile, model)
-            rows.append((kb, result.total_cycles, soc.mem.dram.bytes_moved))
-        return rows
 
-    rows = once(benchmark, run)
+def test_ablation_scratchpad_capacity(benchmark, emit, runner):
+    rows = once(
+        benchmark, lambda: runner.map(bench_point, CAPACITIES_KB, label="ablation_sp")
+    )
     base = rows[0][1]
     text = format_table(
         ["scratchpad (KB)", "cycles", "DRAM bytes", "speedup vs 128KB"],

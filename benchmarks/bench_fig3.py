@@ -11,8 +11,8 @@ from repro.eval.experiments import run_fig3
 from repro.eval.report import format_table
 
 
-def test_fig3_spatial_array_tradeoffs(benchmark, emit):
-    result = once(benchmark, run_fig3)
+def test_fig3_spatial_array_tradeoffs(benchmark, emit, runner):
+    result = once(benchmark, lambda: runner.run(run_fig3))
 
     rows = [
         (r.name, r.tile_shape, r.frequency_ghz, r.area_kum2, r.power_mw)

@@ -9,8 +9,8 @@ from repro.eval.experiments import run_fig4
 from repro.eval.report import format_series
 
 
-def test_fig4_tlb_miss_trace(benchmark, emit):
-    result = once(benchmark, lambda: run_fig4(input_hw=INPUT_HW))
+def test_fig4_tlb_miss_trace(benchmark, emit, runner):
+    result = once(benchmark, lambda: runner.run(run_fig4, input_hw=INPUT_HW))
 
     text = format_series("private TLB miss rate over ResNet50", result.trace)
     text += (

@@ -11,8 +11,8 @@ from repro.eval.experiments import run_fig6
 from repro.eval.report import format_table
 
 
-def test_fig6_area_breakdown(benchmark, emit):
-    result = once(benchmark, run_fig6)
+def test_fig6_area_breakdown(benchmark, emit, runner):
+    result = once(benchmark, lambda: runner.run(run_fig6))
     breakdown = result.breakdown
 
     rows = []

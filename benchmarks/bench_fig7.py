@@ -11,9 +11,10 @@ from repro.eval.experiments import run_fig7
 from repro.eval.report import format_table
 
 
-def test_fig7_speedups(benchmark, emit):
+def test_fig7_speedups(benchmark, emit, runner):
     result = once(
-        benchmark, lambda: run_fig7(input_hw=INPUT_HW, seq=BERT_SEQ, host_sweep=True)
+        benchmark,
+        lambda: runner.run(run_fig7, input_hw=INPUT_HW, seq=BERT_SEQ, host_sweep=True),
     )
 
     rows = []

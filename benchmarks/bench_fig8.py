@@ -15,10 +15,11 @@ from repro.eval.experiments import run_fig8
 from repro.eval.report import format_table
 
 
-def test_fig8_tlb_sweep(benchmark, emit):
+def test_fig8_tlb_sweep(benchmark, emit, runner):
     result = once(
         benchmark,
-        lambda: run_fig8(
+        lambda: runner.run(
+            run_fig8,
             private_sizes=(4, 8, 16, 32),
             shared_sizes=(0, 128, 512),
             filters=(False, True),

@@ -12,8 +12,8 @@ from repro.eval.experiments import run_fig9
 from repro.eval.report import format_table
 
 
-def test_fig9_memory_partitioning(benchmark, emit):
-    result = once(benchmark, lambda: run_fig9(input_hw=INPUT_HW))
+def test_fig9_memory_partitioning(benchmark, emit, runner):
+    result = once(benchmark, lambda: runner.run(run_fig9, input_hw=INPUT_HW))
 
     rows = []
     for run in result.runs:

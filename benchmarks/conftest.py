@@ -5,9 +5,18 @@ corresponding experiment runner once (``rounds=1`` — these are multi-second
 simulations, not microbenchmarks) and emits the regenerated table/series to
 ``benchmark_results/<name>.txt`` as well as stdout.
 
-Set ``REPRO_FAST=1`` to run the DNN-level experiments at reduced input
-resolution (96px CNNs / seq-32 BERT) for quick iteration; the default
-reproduces the paper's full problem sizes.
+Experiments route through :class:`repro.eval.runner.ExperimentRunner` (the
+session-scoped ``runner`` fixture), so multi-point sweeps fan out across
+cores and results can be cached between invocations.
+
+Environment knobs:
+
+* ``REPRO_FAST=1`` — run the DNN-level experiments at reduced input
+  resolution (96px CNNs / seq-32 BERT) for quick iteration; the default
+  reproduces the paper's full problem sizes.
+* ``REPRO_WORKERS=N`` — cap the runner's process pool (1 = serial).
+* ``REPRO_CACHE_DIR=path`` — persist per-config experiment results there
+  and reuse them on re-runs.
 """
 
 from __future__ import annotations
@@ -16,6 +25,8 @@ import os
 import pathlib
 
 import pytest
+
+from repro.eval.runner import ExperimentRunner
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
 
@@ -30,6 +41,14 @@ BERT_SEQ = 32 if FAST else 128
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Session-wide parallel experiment runner with optional result cache."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    with ExperimentRunner(cache=cache_dir) as active:
+        yield active
 
 
 @pytest.fixture

@@ -8,51 +8,73 @@ delivered throughput on a representative convolution, combining the
 physical models (Figure 3) with the performance model.  This is the
 quantitative systolic-vs-vector comparison the paper argues existing
 generators cannot make.
+
+Every point is independent, so the sweep fans out across cores via
+:class:`repro.eval.runner.ExperimentRunner` (set ``REPRO_WORKERS=1`` to
+force serial execution).
 """
 
 from repro.core import GemminiConfig
 from repro.core.config import Dataflow
 from repro.core.spatial_array import SpatialArrayModel
 from repro.eval.report import format_table
+from repro.eval.runner import ExperimentRunner
 from repro.physical.area import spatial_array_area
 from repro.physical.power import spatial_array_power_mw
 from repro.physical.timing import max_frequency_ghz
 
+#: ResNet50 stage-1 3x3 convolution as an im2col matmul.
+CONV_SHAPE = (3136, 576, 64)
 
-def explore():
-    rows = []
-    # ResNet50 stage-1 3x3 convolution as an im2col matmul.
-    m, k, n = 3136, 576, 64
+
+def sweep_points() -> list[dict]:
+    """Every (array size, tile shape) point of the sweep, as config kwargs."""
+    points = []
     for dim in (8, 16, 32):
         tile = 1
         while tile <= dim:
-            config = GemminiConfig(
-                mesh_rows=dim // tile,
-                mesh_cols=dim // tile,
-                tile_rows=tile,
-                tile_cols=tile,
-                sp_capacity_bytes=256 * 1024,
-                acc_capacity_bytes=64 * 1024,
-            )
-            freq = max_frequency_ghz(config)
-            area = spatial_array_area(config)
-            power = spatial_array_power_mw(config, frequency_ghz=freq)
-            cost = SpatialArrayModel(config).matmul_cost(m, k, n, Dataflow.WS)
-            seconds = cost.total / (freq * 1e9)
-            throughput = m * k * n / seconds / 1e9  # GMAC/s
-            rows.append(
-                (
-                    f"{dim}x{dim}",
-                    f"{tile}x{tile}",
-                    f"{freq:.2f}",
-                    f"{area / 1000:.0f}k",
-                    f"{power:.0f}",
-                    f"{throughput:.0f}",
-                    f"{throughput / (area / 1000):.2f}",
-                )
+            points.append(
+                {
+                    "mesh_rows": dim // tile,
+                    "mesh_cols": dim // tile,
+                    "tile_rows": tile,
+                    "tile_cols": tile,
+                    "sp_capacity_bytes": 256 * 1024,
+                    "acc_capacity_bytes": 64 * 1024,
+                }
             )
             tile *= 2
-    return rows
+    return points
+
+
+def evaluate_point(params: dict) -> tuple:
+    """Physical + performance metrics for one design point (one table row)."""
+    config = GemminiConfig(**params)
+    m, k, n = CONV_SHAPE
+    freq = max_frequency_ghz(config)
+    area = spatial_array_area(config)
+    power = spatial_array_power_mw(config, frequency_ghz=freq)
+    cost = SpatialArrayModel(config).matmul_cost(m, k, n, Dataflow.WS)
+    seconds = cost.total / (freq * 1e9)
+    throughput = m * k * n / seconds / 1e9  # GMAC/s
+    return (
+        f"{config.dim}x{config.dim}",
+        f"{config.tile_rows}x{config.tile_cols}",
+        f"{freq:.2f}",
+        f"{area / 1000:.0f}k",
+        f"{power:.0f}",
+        f"{throughput:.0f}",
+        f"{throughput / (area / 1000):.2f}",
+    )
+
+
+def explore(runner: ExperimentRunner | None = None) -> list[tuple]:
+    """Evaluate the whole sweep, fanning points out across cores."""
+    points = sweep_points()
+    if runner is not None:
+        return runner.map(evaluate_point, points, label="dse")
+    with ExperimentRunner() as owned:
+        return owned.map(evaluate_point, points, label="dse")
 
 
 def main() -> None:

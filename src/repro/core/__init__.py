@@ -45,6 +45,7 @@ from repro.core.peripherals import (
 )
 from repro.core.scratchpad import Scratchpad
 from repro.core.spatial_array import (
+    STRUCTURAL_BACKENDS,
     FunctionalMesh,
     MatmulCost,
     SpatialArrayModel,
@@ -101,4 +102,5 @@ __all__ = [
     "MatmulCost",
     "SpatialArrayModel",
     "StructuralMesh",
+    "STRUCTURAL_BACKENDS",
 ]

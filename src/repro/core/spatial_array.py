@@ -24,6 +24,11 @@ from repro.core.config import Dataflow, GemminiConfig
 # Structural, cycle-exact model                                           #
 # ---------------------------------------------------------------------- #
 
+#: Structural-simulation backends.  ``scalar`` steps every PE in Python
+#: (the reference implementation); ``vectorized`` advances the whole array
+#: per cycle with numpy wavefront slabs and is bitwise-identical to it.
+STRUCTURAL_BACKENDS = ("scalar", "vectorized")
+
 
 class StructuralMesh:
     """Cycle-exact two-level spatial array (Figure 2 microarchitecture).
@@ -32,13 +37,39 @@ class StructuralMesh:
     tile takes a cycle, while propagation inside a tile is combinational.
     Inputs are fed with the skew the register structure requires, exactly as
     the RTL's edge shifters do.
+
+    Two backends simulate the same hardware:
+
+    * ``scalar`` — the original triple-nested per-PE loops.  Trivially
+      auditable against the RTL; slow (O(dim^2) Python work per cycle).
+    * ``vectorized`` — one numpy slab update over the whole array per
+      cycle.  Within a tile, operand wires are constant along the
+      combinational direction and partial sums are a running (cumulative)
+      sum down the tile, so each cycle reduces to gathers, a broadcasted
+      multiply, and per-tile-row cumulative sums.  The arithmetic is
+      performed in exactly the same order as the scalar path, so outputs
+      and cycle counts are bitwise identical (enforced by property tests).
+
+    The default backend comes from ``config.structural_backend``; both the
+    constructor and the ``run_*`` methods accept an override.
     """
 
-    def __init__(self, config: GemminiConfig) -> None:
+    def __init__(self, config: GemminiConfig, backend: str | None = None) -> None:
         self.config = config
         self.dim = config.dim
         self.tile_rows = config.tile_rows
         self.tile_cols = config.tile_cols
+        self.backend = self._check_backend(
+            backend if backend is not None else config.structural_backend
+        )
+
+    @staticmethod
+    def _check_backend(backend: str) -> str:
+        if backend not in STRUCTURAL_BACKENDS:
+            raise ValueError(
+                f"unknown structural backend {backend!r}; expected one of {STRUCTURAL_BACKENDS}"
+            )
+        return backend
 
     # -- register-count helpers ---------------------------------------- #
 
@@ -50,9 +81,24 @@ class StructuralMesh:
         """Pipeline registers crossed travelling from the left edge to PE col c."""
         return c // self.tile_cols
 
+    def _ws_cycles(self, m: int) -> int:
+        """Total cycles a WS block of ``m`` rows occupies (stream + drain)."""
+        max_row_skew = self.row_regs_above(self.dim - 1)
+        max_col_skew = self.col_regs_left(self.dim - 1)
+        drain = self.dim + max_row_skew + max_col_skew + 2
+        return m + drain
+
+    def _os_cycles(self, k: int) -> int:
+        """Cycles an OS block of depth ``k`` occupies, excluding the drain."""
+        max_row_skew = self.row_regs_above(self.dim - 1)
+        max_col_skew = self.col_regs_left(self.dim - 1)
+        return k + max_row_skew + max_col_skew + 1
+
     # -- weight-stationary --------------------------------------------- #
 
-    def run_ws(self, a: np.ndarray, b: np.ndarray, d: np.ndarray) -> tuple[np.ndarray, int]:
+    def run_ws(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray, backend: str | None = None
+    ) -> tuple[np.ndarray, int]:
         """Compute ``C = D + A @ B`` cycle by cycle.
 
         ``a`` is (m, dim), ``b`` is (dim, dim) stationary, ``d`` is (m, dim).
@@ -65,6 +111,17 @@ class StructuralMesh:
         a = a.astype(np.float64)
         b = b.astype(np.float64)
         d = d.astype(np.float64)
+        backend = self._check_backend(backend if backend is not None else self.backend)
+        if backend == "vectorized":
+            return self._run_ws_vectorized(a, b, d)
+        return self._run_ws_scalar(a, b, d)
+
+    def _run_ws_scalar(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Reference implementation: step every PE in Python."""
+        dim = self.dim
+        m = a.shape[0]
 
         # Registered state between cycles (value leaving PE (r, c)).
         a_reg = np.zeros((dim, dim))
@@ -72,10 +129,7 @@ class StructuralMesh:
         out = np.zeros((m, dim))
         out_seen = np.zeros((m, dim), dtype=bool)
 
-        max_row_skew = self.row_regs_above(dim - 1)
-        max_col_skew = self.col_regs_left(dim - 1)
-        drain = dim + max_row_skew + max_col_skew + 2
-        total_cycles = m + drain
+        total_cycles = self._ws_cycles(m)
 
         for t in range(total_cycles):
             a_wire = np.zeros((dim, dim))
@@ -113,9 +167,97 @@ class StructuralMesh:
             raise RuntimeError("structural WS simulation failed to drain")
         return out, total_cycles
 
+    def _wavefront_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row and per-column register (skew) counts as index vectors."""
+        rows = np.arange(self.dim)
+        cols = np.arange(self.dim)
+        return rows // self.tile_rows, cols // self.tile_cols
+
+    def _run_ws_vectorized(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Wavefront fast path: one slab update over the whole array per cycle.
+
+        Exploits two structural facts.  (1) The A operand is combinational
+        within a tile, so along each PE row it is piecewise-constant per
+        tile column: one gather of the tile-boundary registers (plus the
+        left-edge feed) reconstructs the whole ``a_wire`` plane.  (2) The
+        partial sum chains combinationally down a tile, so within each tile
+        row it is a cumulative sum of ``a_wire * b`` seeded by the incoming
+        registered value.  Both are computed with the scalar path's exact
+        addition order, keeping results bitwise identical.
+        """
+        dim = self.dim
+        m = a.shape[0]
+        tile_rows, tile_cols = self.tile_rows, self.tile_cols
+        mesh_rows, mesh_cols = dim // tile_rows, dim // tile_cols
+
+        rows = np.arange(dim)
+        cols = np.arange(dim)
+        row_skew, col_skew = self._wavefront_indices()
+        out_lat = int(row_skew[-1])  # registers between top edge and last PE row
+        max_col_skew = int(col_skew[-1])
+        #: registered columns/rows feeding tile blocks 1..mesh-1
+        col_feed = tile_cols * np.arange(1, mesh_cols) - 1
+        row_feed = tile_rows * np.arange(1, mesh_rows) - 1
+        block_starts = tile_rows * np.arange(1, mesh_rows)
+
+        total_cycles = self._ws_cycles(m)
+
+        # Zero-padded edge feeds: row i of A enters PE row r at cycle
+        # i + row_skew[r]; indexing the padded plane replaces per-cycle
+        # bounds masking (out-of-range cycles read the same 0.0 the edge
+        # shifters would drive).
+        a_pad = np.zeros((total_cycles + out_lat, dim))
+        a_pad[out_lat : out_lat + m] = a
+        a_idx = out_lat - row_skew
+        d_pad = np.zeros((total_cycles + max_col_skew, dim))
+        d_pad[max_col_skew : max_col_skew + m] = d
+        d_idx = max_col_skew - col_skew
+
+        a_reg = np.zeros((dim, dim))
+        p_reg = np.zeros((dim, dim))
+        #: bottom-edge wire observed each cycle; unskewed into C afterwards
+        bottom = np.empty((total_cycles, dim))
+
+        for t in range(total_cycles):
+            # Left-edge A feed plus the tile-boundary registers reconstruct
+            # the whole combinational a_wire plane.
+            entering = np.empty((dim, mesh_cols))
+            entering[:, 0] = a_pad[t + a_idx, rows]
+            if mesh_cols > 1:
+                entering[:, 1:] = a_reg[:, col_feed]
+            a_wire = np.repeat(entering, tile_cols, axis=1)
+
+            # Partial sums: seed each tile row with its incoming value, then
+            # accumulate down the tile.
+            p_wire = a_wire * b
+            p_wire[0] += d_pad[t + d_idx, cols]
+            if mesh_rows > 1:
+                p_wire[block_starts] += p_reg[row_feed]
+            if tile_rows > 1:
+                for start in range(0, dim, tile_rows):
+                    np.cumsum(
+                        p_wire[start : start + tile_rows],
+                        axis=0,
+                        out=p_wire[start : start + tile_rows],
+                    )
+
+            bottom[t] = p_wire[dim - 1]
+            a_reg = a_wire
+            p_reg = p_wire
+
+        # Result row i leaves column c at cycle i + col_skew[c] + out_lat;
+        # one gather undoes the output skew.
+        out_t = np.arange(m)[:, None] + (col_skew + out_lat)[None, :]
+        out = bottom[out_t, cols[None, :]]
+        return out, total_cycles
+
     # -- output-stationary ---------------------------------------------- #
 
-    def run_os(self, a: np.ndarray, b: np.ndarray, d: np.ndarray) -> tuple[np.ndarray, int]:
+    def run_os(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray, backend: str | None = None
+    ) -> tuple[np.ndarray, int]:
         """Compute ``C = D + A @ B`` with C resident in the PEs.
 
         ``a`` is (dim, k), ``b`` is (k, dim), ``d`` is (dim, dim).
@@ -127,14 +269,23 @@ class StructuralMesh:
             raise ValueError("run_os shape mismatch")
         a = a.astype(np.float64)
         b = b.astype(np.float64)
+        backend = self._check_backend(backend if backend is not None else self.backend)
+        if backend == "vectorized":
+            return self._run_os_vectorized(a, b, d)
+        return self._run_os_scalar(a, b, d)
+
+    def _run_os_scalar(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Reference implementation: step every PE in Python."""
+        dim = self.dim
+        k = a.shape[1]
 
         acc = d.astype(np.float64).copy()
         a_reg = np.zeros((dim, dim))
         b_reg = np.zeros((dim, dim))
 
-        max_row_skew = self.row_regs_above(dim - 1)
-        max_col_skew = self.col_regs_left(dim - 1)
-        total_cycles = k + max_row_skew + max_col_skew + 1
+        total_cycles = self._os_cycles(k)
 
         for t in range(total_cycles):
             a_wire = np.zeros((dim, dim))
@@ -158,6 +309,64 @@ class StructuralMesh:
                     a_wire[r, c] = a_left
                     b_wire[r, c] = b_top
                     acc[r, c] += a_left * b_top
+            a_reg = a_wire
+            b_reg = b_wire
+
+        drain_cycles = dim  # results propagate out column by column
+        return acc, total_cycles + drain_cycles
+
+    def _run_os_vectorized(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Wavefront fast path for the output-stationary dataflow.
+
+        Both moving operands are piecewise-constant inside a tile (A along
+        rows, B down columns), so each cycle is two gathers of tile-boundary
+        registers plus one fused multiply-accumulate over the whole array —
+        the same per-element additions as the scalar path, in the same
+        order.
+        """
+        dim = self.dim
+        k = a.shape[1]
+        tile_rows, tile_cols = self.tile_rows, self.tile_cols
+        mesh_rows, mesh_cols = dim // tile_rows, dim // tile_cols
+
+        rows = np.arange(dim)
+        cols = np.arange(dim)
+        row_skew, col_skew = self._wavefront_indices()
+        max_row_skew = int(row_skew[-1])
+        max_col_skew = int(col_skew[-1])
+        col_feed = tile_cols * np.arange(1, mesh_cols) - 1
+        row_feed = tile_rows * np.arange(1, mesh_rows) - 1
+
+        total_cycles = self._os_cycles(k)
+
+        # Zero-padded edge feeds (see _run_ws_vectorized).
+        a_pad = np.zeros((dim, total_cycles + max_row_skew))
+        a_pad[:, max_row_skew : max_row_skew + k] = a
+        a_idx = max_row_skew - row_skew
+        b_pad = np.zeros((total_cycles + max_col_skew, dim))
+        b_pad[max_col_skew : max_col_skew + k] = b
+        b_idx = max_col_skew - col_skew
+
+        acc = d.astype(np.float64).copy()
+        a_reg = np.zeros((dim, dim))
+        b_reg = np.zeros((dim, dim))
+
+        for t in range(total_cycles):
+            entering_cols = np.empty((dim, mesh_cols))
+            entering_cols[:, 0] = a_pad[rows, t + a_idx]
+            if mesh_cols > 1:
+                entering_cols[:, 1:] = a_reg[:, col_feed]
+            a_wire = np.repeat(entering_cols, tile_cols, axis=1)
+
+            entering_rows = np.empty((mesh_rows, dim))
+            entering_rows[0] = b_pad[t + b_idx, cols]
+            if mesh_rows > 1:
+                entering_rows[1:] = b_reg[row_feed]
+            b_wire = np.repeat(entering_rows, tile_rows, axis=0)
+
+            acc += a_wire * b_wire
             a_reg = a_wire
             b_reg = b_wire
 

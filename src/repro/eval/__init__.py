@@ -7,6 +7,7 @@ published reference points, so benches and tests can compare shapes.
 
 from repro.eval.tables import TABLE_I, format_table_i
 from repro.eval.experiments import (
+    EXPERIMENTS,
     Fig3Result,
     Fig4Result,
     Fig6Result,
@@ -19,12 +20,25 @@ from repro.eval.experiments import (
     run_fig7,
     run_fig8,
     run_fig9,
+    run_figures,
 )
 from repro.eval.report import format_table
+from repro.eval.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultCache,
+    config_hash,
+)
 
 __all__ = [
     "TABLE_I",
     "format_table_i",
+    "EXPERIMENTS",
+    "run_figures",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ResultCache",
+    "config_hash",
     "Fig3Result",
     "Fig4Result",
     "Fig6Result",

@@ -434,6 +434,62 @@ def run_fig9(
 
 
 # ===================================================================== #
+# Registry + parallel orchestration                                      #
+# ===================================================================== #
+
+#: Every figure runner, by the name used in reports, CI and caches.
+EXPERIMENTS: dict[str, object] = {
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+}
+
+
+def run_figures(
+    names: tuple[str, ...] | list[str] | None = None,
+    runner: "ExperimentRunner | None" = None,
+    fig_kwargs: dict[str, dict] | None = None,
+) -> dict[str, object]:
+    """Run figure experiments through the parallel runner.
+
+    ``names`` defaults to every registered figure; ``fig_kwargs`` maps a
+    figure name to keyword arguments for its runner (e.g. reduced input
+    resolution).  A caller-provided ``runner`` is reused (and its cache
+    consulted); otherwise a fresh one with default workers is created for
+    the call.
+    """
+    from repro.eval.runner import ExperimentRunner, ExperimentSpec
+
+    chosen = tuple(names) if names is not None else tuple(EXPERIMENTS)
+    unknown = [n for n in chosen if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown figure(s) {unknown}; known: {sorted(EXPERIMENTS)}")
+    kwargs = fig_kwargs or {}
+    # A typo'd fig_kwargs key would otherwise silently drop its overrides
+    # and run a long simulation at the defaults.  Keys for registered but
+    # unselected figures are allowed (shared kwargs dict, subset run).
+    bad_kwargs = [k for k in kwargs if k not in EXPERIMENTS]
+    if bad_kwargs:
+        raise KeyError(
+            f"fig_kwargs for unknown figure(s) {bad_kwargs}; known: {sorted(EXPERIMENTS)}"
+        )
+    specs = [
+        ExperimentSpec.make(EXPERIMENTS[n], label=n, **kwargs.get(n, {})) for n in chosen
+    ]
+    owns_runner = runner is None
+    active = runner if runner is not None else ExperimentRunner()
+    try:
+        results = active.run_specs(specs)
+    finally:
+        if owns_runner:
+            active.close()
+    return dict(zip(chosen, results))
+
+
+# ===================================================================== #
 # Shared helpers                                                         #
 # ===================================================================== #
 

@@ -1,0 +1,419 @@
+"""Parallel experiment orchestration with per-config result caching.
+
+Figure reproduction and design-space sweeps are embarrassingly parallel:
+every point is an independent (function, config) pair.  The
+:class:`ExperimentRunner` fans such points out over a
+``ProcessPoolExecutor`` and memoises each result on disk, keyed by a
+stable hash of the function identity and its keyword arguments, so
+re-running a sweep only pays for the points that changed.
+
+``eval/experiments.py`` (via :func:`repro.eval.experiments.run_figures`),
+``examples/design_space_exploration.py`` and the ``benchmarks/`` suite all
+route through this module.
+
+Environment knobs:
+
+* ``REPRO_WORKERS`` — default worker count (``1`` forces in-process
+  serial execution, which also permits non-picklable callables).
+* ``REPRO_CACHE_DIR`` — honoured by the benchmark suite to place the
+  result cache; this module itself only caches when given a cache.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import hashlib
+import inspect
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, fields, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ResultCache",
+    "config_hash",
+    "default_workers",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Config hashing                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serialisable structure.
+
+    Dataclasses (configs) flatten to ``{type, field: value, ...}``; mappings
+    get sorted keys; sets are sorted; anything else that JSON cannot encode
+    falls back to its ``repr``, which is deterministic for the config
+    objects used here.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        # Fields marked compare=False are simulation knobs, not identity.
+        flat = {f.name: _canonical(getattr(obj, f.name)) for f in fields(obj) if f.compare}
+        flat["__type__"] = type(obj).__qualname__
+        return flat
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__qualname__}.{obj.name}"
+    if isinstance(obj, dict):
+        # repr keeps 1 and "1" distinct (str() would collide them).
+        return {repr(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(_canonical(v)) for v in obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, np.ndarray):
+        # repr() truncates large arrays, which would collide distinct
+        # sweep points; hash the full contents plus shape/dtype instead.
+        return {
+            "__ndarray__": obj.shape,
+            "dtype": str(obj.dtype),
+            "data": hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest(),
+        }
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return repr(obj)
+
+
+def config_hash(payload: Any) -> str:
+    """Stable hex digest of an arbitrary experiment configuration."""
+    encoded = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _callable_state(fn: Callable[..., Any]) -> Any:
+    """Captured state a callable's source text does not show.
+
+    Two closures minted by the same factory share source but differ in
+    their closure cells; same for ``functools.partial`` bindings and
+    argument defaults.  All of it must reach the cache key, or identical-
+    looking callables would collide on one entry.
+    """
+    if isinstance(fn, functools.partial):
+        return {
+            "partial_args": [_canonical(a) for a in fn.args],
+            "partial_kwargs": _canonical(dict(fn.keywords or {})),
+            "inner": _callable_state(fn.func),
+        }
+    state: dict[str, Any] = {}
+    bound_self = getattr(fn, "__self__", None)
+    if bound_self is not None:
+        # Bound methods of different instances share source and qualname;
+        # the instance is part of the computation's identity.
+        state["self"] = _canonical(bound_self)
+    cells = getattr(fn, "__closure__", None)
+    if cells:
+        contents = []
+        for cell in cells:
+            try:
+                contents.append(_canonical(cell.cell_contents))
+            except ValueError:  # still-empty cell (recursive definition)
+                contents.append("<empty-cell>")
+        state["closure"] = contents
+    defaults = getattr(fn, "__defaults__", None)
+    if defaults:
+        state["defaults"] = [_canonical(d) for d in defaults]
+    return state
+
+
+@lru_cache(maxsize=None)
+def _source_fingerprint(root: str | None = None) -> str:
+    """Fingerprint of the package source tree (per-file path/size/mtime).
+
+    Folded into every cache key so that editing *any* simulator module —
+    not just the experiment function itself — invalidates cached results.
+    Computed once per process; caches therefore never outlive a source
+    edit, at the cost of also expiring on fresh checkouts (mtimes differ),
+    which only ever re-runs an experiment, never serves a stale one.
+    """
+    if root is None:
+        root = str(Path(__file__).resolve().parents[1])  # the repro package
+    digest = hashlib.sha256()
+    for path in sorted(Path(root).rglob("*.py")):
+        stat = path.stat()
+        digest.update(f"{path}:{stat.st_size}:{stat.st_mtime_ns};".encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# Experiment specs                                                        #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: a callable plus the keyword arguments to run it with."""
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, fn: Callable[..., Any], *, label: str | None = None, **kwargs: Any
+    ) -> "ExperimentSpec":
+        """Build a spec; ``label`` is the display name.  It is keyword-only
+        and deliberately not called ``name`` so it can never swallow an
+        experiment function's own ``name`` argument — everything else in
+        ``kwargs`` reaches the function verbatim."""
+        return cls(
+            name=label or getattr(fn, "__name__", repr(fn)),
+            fn=fn,
+            kwargs=tuple(sorted(kwargs.items())),
+        )
+
+    @property
+    def key(self) -> str:
+        """Cache key: hash of the function identity, its source text (when
+        retrievable), the package source fingerprint (so editing the
+        experiment *or* the simulator it calls invalidates cached results),
+        and its arguments.
+
+        ``name`` is deliberately excluded: it is a display label (sweep
+        position, figure name), and the same computation must hit the same
+        cache entry however it is labelled or ordered.
+        """
+        fn = self.fn
+        target = getattr(fn, "__wrapped__", fn)
+        # Identity and source come from the innermost function: a partial's
+        # own repr embeds a memory address (nondeterministic across runs),
+        # while its bindings are already captured by _callable_state.
+        inner = target
+        while isinstance(inner, functools.partial):
+            inner = inner.func
+        ident = f"{getattr(inner, '__module__', '?')}.{getattr(inner, '__qualname__', repr(inner))}"
+        try:
+            source = inspect.getsource(inner)
+        except (OSError, TypeError):
+            source = ""
+        # Also hash the function's whole module file: sweeps commonly read
+        # module-level constants (shape lists, capacities) that the
+        # function's own source does not contain.
+        try:
+            srcfile = inspect.getsourcefile(inner)
+            module_src = Path(srcfile).read_text(encoding="utf-8") if srcfile else ""
+        except (OSError, TypeError):
+            module_src = ""
+        return config_hash(
+            {
+                "fn": ident,
+                "src": source,
+                "module_src": module_src,
+                "state": _callable_state(target),
+                "env": _source_fingerprint(),
+                "kwargs": dict(self.kwargs),
+            }
+        )
+
+    def run(self) -> Any:
+        return self.fn(**dict(self.kwargs))
+
+
+def _run_spec(spec: ExperimentSpec) -> Any:
+    """Module-level trampoline so specs can cross the process boundary."""
+    return spec.run()
+
+
+# ---------------------------------------------------------------------- #
+# Result cache                                                            #
+# ---------------------------------------------------------------------- #
+
+
+class ResultCache:
+    """Pickle-per-key result store under one directory.
+
+    Writes are atomic (tmp file + rename) so concurrent workers and
+    interrupted runs can never leave a half-written entry behind; unreadable
+    entries degrade to cache misses.
+    """
+
+    _MISS = object()
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """Return the cached value, or :attr:`ResultCache._MISS`."""
+        path = self.path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # Unpickling can fail in arbitrary ways (truncated file, class
+            # moved or renamed since the entry was written, __setstate__
+            # errors); every one of them is just a miss.
+            return self._MISS
+
+    def put(self, key: str, value: Any) -> None:
+        path = self.path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh)
+            tmp.replace(path)
+        except Exception:
+            # A result that cannot be pickled (serial runners permit them)
+            # or a filesystem error must not fail the run that computed it —
+            # the entry is simply not cached.
+            tmp.unlink(missing_ok=True)
+
+    def clear(self) -> None:
+        for entry in self.directory.glob("*.pkl"):
+            entry.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.directory.glob("*.pkl"))
+
+
+# ---------------------------------------------------------------------- #
+# Runner                                                                  #
+# ---------------------------------------------------------------------- #
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` if set, else the CPU count."""
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+class ExperimentRunner:
+    """Fan experiment specs out over processes, consulting a result cache.
+
+    With ``max_workers == 1`` (or a single submitted spec) everything runs
+    in-process, which keeps tracebacks direct and permits closures; any
+    higher worker count requires picklable callables/results, which all the
+    ``run_fig*`` experiment runners satisfy.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache: ResultCache | str | os.PathLike | None = None,
+    ) -> None:
+        self.max_workers = max_workers if max_workers is not None else default_workers()
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self._pool: ProcessPoolExecutor | None = None
+        self.hits = 0
+        self.misses = 0
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------ #
+
+    def run(self, fn: Callable[..., Any], *, label: str | None = None, **kwargs: Any) -> Any:
+        """Run one experiment (cached); serial unless workers are warranted.
+
+        ``label`` is display-only; every other keyword reaches ``fn``."""
+        return self.run_specs([ExperimentSpec.make(fn, label=label, **kwargs)])[0]
+
+    def run_specs(self, specs: Sequence[ExperimentSpec]) -> list[Any]:
+        """Run specs, returning results in order.
+
+        Cached results are served immediately; the remainder execute in
+        parallel (or inline when a pool is not worth spinning up).
+        """
+        results: list[Any] = [None] * len(specs)
+        pending: list[int] = []
+        # Key computation hashes source text and kwargs; do it once per spec.
+        keys = [spec.key for spec in specs] if self.cache is not None else []
+        for i, spec in enumerate(specs):
+            if self.cache is not None:
+                value = self.cache.get(keys[i])
+                if value is not ResultCache._MISS:
+                    results[i] = value
+                    self.hits += 1
+                    continue
+            self.misses += 1
+            pending.append(i)
+
+        if not pending:
+            return results
+
+        # Cache every result the moment it exists: a point that fails (or a
+        # Ctrl-C) must not discard the completed points of a long sweep.
+        def record(i: int, value: Any) -> None:
+            results[i] = value
+            if self.cache is not None:
+                self.cache.put(keys[i], value)
+
+        if self.max_workers == 1 or len(pending) == 1:
+            for i in pending:
+                record(i, _run_spec(specs[i]))
+        else:
+            pool = self._ensure_pool()
+            futures = {pool.submit(_run_spec, specs[i]): i for i in pending}
+            try:
+                for future in as_completed(futures):
+                    record(futures[future], future.result())
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        return results
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any], *, label: str | None = None
+    ) -> list[Any]:
+        """Parallel (cached) map of ``fn`` over ``items``.
+
+        Each item is passed as the callable's single positional argument;
+        per-item cache keys include the item itself.
+        """
+        base = label or getattr(fn, "__name__", "map")
+        call = _ItemCall(fn)
+        specs = [
+            ExperimentSpec(name=f"{base}[{i}]", fn=call, kwargs=(("item", item),))
+            for i, item in enumerate(items)
+        ]
+        return self.run_specs(specs)
+
+
+class _ItemCall:
+    """Adapter turning ``fn(item)`` into a kwargs call; picklable when fn is."""
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+        self.__module__ = getattr(fn, "__module__", "?")
+        self.__qualname__ = f"item:{getattr(fn, '__qualname__', repr(fn))}"
+        self.__wrapped__ = fn  # lets ExperimentSpec.key fingerprint the source
+
+    def __call__(self, item: Any) -> Any:
+        return self.fn(item)

@@ -9,7 +9,6 @@ from repro.core import isa
 from repro.core.accelerator import Accelerator
 from repro.core.config import GemminiConfig
 from repro.core.isa import LocalAddr
-from repro.mem.host_memory import HostMemory
 
 
 DIM = 4

@@ -118,9 +118,12 @@ class TestController:
     def test_rob_backpressure(self):
         narrow = Controller(rob_entries=1)
         wide = Controller(rob_entries=64)
-        ops = lambda: [
-            Op(unit="load", cycles=50.0, writes=(f"l{i}",)) for i in range(4)
-        ] + [Op(unit="exec", cycles=50.0, reads=(f"l{i}",)) for i in range(4)]
+
+        def ops():
+            loads = [Op(unit="load", cycles=50.0, writes=(f"l{i}",)) for i in range(4)]
+            execs = [Op(unit="exec", cycles=50.0, reads=(f"l{i}",)) for i in range(4)]
+            return loads + execs
+
         t_narrow = narrow.execute(ops()).end_time
         t_wide = wide.execute(ops()).end_time
         assert t_narrow >= t_wide

@@ -9,7 +9,6 @@ from repro.core.dtypes import (
     BF16,
     FP32,
     INT8,
-    INT32,
     dtype_by_name,
     rounding_right_shift,
 )

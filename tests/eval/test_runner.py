@@ -1,0 +1,372 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+import os
+
+import pytest
+
+from repro.core.config import GemminiConfig, default_config
+from repro.eval import experiments
+from repro.eval.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultCache,
+    config_hash,
+    default_workers,
+)
+
+
+# Module-level so the process pool can pickle them.
+def square(x: int) -> int:
+    return x * x
+
+
+def double(x: int) -> int:
+    return x + x
+
+
+def pid_and_value(value: int) -> tuple[int, int]:
+    return (os.getpid(), value)
+
+
+def describe_config(config: GemminiConfig) -> str:
+    return config.describe()
+
+
+class TestConfigHash:
+    def test_deterministic(self):
+        payload = {"dim": 16, "dataflow": "WS", "nested": {"a": [1, 2]}}
+        assert config_hash(payload) == config_hash(payload)
+
+    def test_key_order_insensitive(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert config_hash({"dim": 16}) != config_hash({"dim": 32})
+
+    def test_hashes_dataclass_configs(self):
+        base = default_config()
+        assert config_hash(base) == config_hash(default_config())
+        assert config_hash(base) != config_hash(base.with_im2col(True))
+
+    def test_enum_and_tuple_values(self):
+        from repro.core.config import Dataflow
+
+        h1 = config_hash({"df": Dataflow.WS, "sizes": (4, 8)})
+        h2 = config_hash({"df": Dataflow.OS, "sizes": (4, 8)})
+        assert h1 != h2
+
+    def test_dict_keys_of_different_types_stay_distinct(self):
+        assert config_hash({1: "a", "1": "b"}) != config_hash({1: "z", "1": "b"})
+
+    def test_backend_knob_does_not_affect_config_identity(self):
+        """structural_backend is a simulation choice, not hardware."""
+        scalar = GemminiConfig(structural_backend="scalar")
+        vectorized = GemminiConfig(structural_backend="vectorized")
+        assert scalar == vectorized
+        assert config_hash(scalar) == config_hash(vectorized)
+
+    def test_large_arrays_hash_by_content(self):
+        """repr() truncates big arrays; the hash must still see every element."""
+        import numpy as np
+
+        base = np.arange(2000)
+        changed = base.copy()
+        changed[1000] = -1  # hidden inside repr's "..." ellipsis
+        assert config_hash({"x": base}) != config_hash({"x": changed})
+        assert config_hash({"x": base}) == config_hash({"x": np.arange(2000)})
+        assert config_hash(np.float64(1.5)) == config_hash(1.5)
+
+
+class TestExperimentSpec:
+    def test_key_includes_kwargs(self):
+        s1 = ExperimentSpec.make(square, x=2)
+        s2 = ExperimentSpec.make(square, x=3)
+        assert s1.key != s2.key
+        assert s1.key == ExperimentSpec.make(square, x=2).key
+
+    def test_run(self):
+        assert ExperimentSpec.make(square, x=7).run() == 49
+
+    def test_key_ignores_display_name(self):
+        """Same computation hits the same cache entry however labelled."""
+        assert (
+            ExperimentSpec.make(square, label="a", x=2).key
+            == ExperimentSpec.make(square, label="b", x=2).key
+        )
+
+    def test_source_fingerprint_tracks_package_edits(self, tmp_path):
+        """Editing any source file under the package root changes the
+        fingerprint (and therefore every cache key)."""
+        import os
+
+        from repro.eval.runner import _source_fingerprint
+
+        mod = tmp_path / "sim.py"
+        mod.write_text("CYCLES = 1\n")
+        before = _source_fingerprint(str(tmp_path))
+        mod.write_text("CYCLES = 2\n")
+        os.utime(mod, ns=(1, 1))  # force a distinct mtime even on fast FS
+        _source_fingerprint.cache_clear()
+        after = _source_fingerprint(str(tmp_path))
+        assert before != after
+
+    def test_key_tracks_module_level_constants(self, tmp_path):
+        """Editing a constant the function reads (not its own body) must
+        change the key — sweeps routinely read module-level shape lists."""
+        import importlib.util
+
+        mod_file = tmp_path / "sweepmod.py"
+
+        def load():
+            spec = importlib.util.spec_from_file_location("sweepmod", mod_file)
+            mod = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(mod)
+            return mod
+
+        mod_file.write_text("SHAPES = [(1, 1)]\ndef rows():\n    return SHAPES\n")
+        key_before = ExperimentSpec.make(load().rows).key
+        mod_file.write_text("SHAPES = [(1, 1), (2, 2)]\ndef rows():\n    return SHAPES\n")
+        key_after = ExperimentSpec.make(load().rows).key
+        assert key_before != key_after
+
+    def test_key_tracks_closure_state(self, tmp_path):
+        """Closures from one factory share source but not captured values;
+        each must get its own cache entry."""
+
+        def make(factor):
+            def point(x):
+                return x * factor
+
+            return point
+
+        assert ExperimentSpec.make(make(2), x=10).key != ExperimentSpec.make(make(3), x=10).key
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as runner:
+            assert runner.map(make(2), [10]) == [20]
+            assert runner.map(make(3), [10]) == [30]  # not served make(2)'s entry
+
+    def test_key_tracks_partial_bindings(self):
+        import functools
+
+        def scaled(x, factor):
+            return x * factor
+
+        k2 = ExperimentSpec.make(functools.partial(scaled, factor=2), x=1).key
+        k3 = ExperimentSpec.make(functools.partial(scaled, factor=3), x=1).key
+        assert k2 != k3
+
+    def test_key_tracks_bound_method_instance(self):
+        """Bound methods of different instances must not share an entry."""
+        from dataclasses import dataclass
+
+        @dataclass
+        class Model:
+            factor: int
+
+            def evaluate(self, x):
+                return x * self.factor
+
+        small, large = Model(2), Model(3)
+        k_small = ExperimentSpec.make(small.evaluate, x=5).key
+        assert k_small != ExperimentSpec.make(large.evaluate, x=5).key
+        assert k_small == ExperimentSpec.make(Model(2).evaluate, x=5).key
+
+    def test_partial_keys_use_inner_function_identity(self):
+        """Partial keys must be stable across constructions (no memory
+        addresses) and distinguish the wrapped function."""
+        import functools
+
+        first = ExperimentSpec.make(functools.partial(square), x=4).key
+        again = ExperimentSpec.make(functools.partial(square), x=4).key
+        assert first == again
+        assert first != ExperimentSpec.make(functools.partial(double), x=4).key
+
+    def test_key_tracks_function_source(self):
+        """Editing an experiment's code must invalidate its cache key."""
+
+        def fn(x):
+            return x + 1
+
+        key_before = ExperimentSpec.make(fn, label="fn", x=1).key
+
+        def fn(x):  # noqa: F811 - deliberately redefined with new source
+            return x + 2
+
+        key_after = ExperimentSpec.make(fn, label="fn", x=1).key
+        assert key_before != key_after
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("k", {"value": 42})
+        assert cache.get("k") == {"value": 42}
+        assert len(cache) == 1
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is ResultCache._MISS
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("bad").write_bytes(b"not a pickle")
+        assert cache.get("bad") is ResultCache._MISS
+
+    def test_unresolvable_class_is_miss(self, tmp_path):
+        """Entries pickled against classes that no longer exist are misses."""
+        cache = ResultCache(tmp_path)
+        # Protocol-0 GLOBAL opcode naming a module that cannot be imported —
+        # what a cache entry looks like after its result class was renamed.
+        cache.path("stale").write_bytes(b"cgone_module\nGoneClass\n.")
+        assert cache.get("stale") is ResultCache._MISS
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestExperimentRunner:
+    def test_serial_run(self):
+        with ExperimentRunner(max_workers=1) as runner:
+            assert runner.run(square, x=5) == 25
+
+    def test_serial_allows_closures(self):
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return -x
+
+        with ExperimentRunner(max_workers=1) as runner:
+            assert runner.map(tracked, [1, 2, 3]) == [-1, -2, -3]
+        assert calls == [1, 2, 3]
+
+    def test_parallel_map_preserves_order(self):
+        with ExperimentRunner(max_workers=2) as runner:
+            assert runner.map(square, range(8)) == [x * x for x in range(8)]
+
+    def test_parallel_uses_worker_processes(self):
+        with ExperimentRunner(max_workers=2) as runner:
+            results = runner.map(pid_and_value, [1, 2, 3, 4])
+        assert [v for __, v in results] == [1, 2, 3, 4]
+        assert any(pid != os.getpid() for pid, __ in results)
+
+    def test_configs_cross_process_boundary(self):
+        with ExperimentRunner(max_workers=2) as runner:
+            described = runner.map(
+                describe_config, [default_config(), default_config().with_im2col(True)]
+            )
+        assert described[0] != described[1]
+        assert "16x16" in described[0]
+
+    def test_cache_hit_skips_recompute(self, tmp_path):
+        marker = tmp_path / "calls"
+
+        def counted(x):
+            marker.write_text(marker.read_text() + "x" if marker.exists() else "x")
+            return x + 1
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "cache") as runner:
+            assert runner.run(counted, x=1) == 2
+            assert runner.run(counted, x=1) == 2  # served from cache
+            assert runner.run(counted, x=2) == 3  # different config recomputes
+        assert marker.read_text() == "xx"
+        assert runner.hits == 1
+        assert runner.misses == 2
+
+    def test_map_cache_survives_sweep_reordering(self, tmp_path):
+        """Extending or reordering a sweep only recomputes the new points."""
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as first:
+            first.map(square, [8, 16, 32])
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as second:
+            assert second.map(square, [4, 8, 16, 32]) == [16, 64, 256, 1024]
+            assert second.hits == 3 and second.misses == 1
+
+    def test_unpicklable_result_is_returned_uncached(self, tmp_path):
+        """A serial runner's unpicklable result must not crash the run."""
+
+        def make_gen(x):
+            return (x for __ in range(1))
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as runner:
+            gen = runner.run(make_gen, x=5)
+            assert next(gen) == 5
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_partial_sweep_progress_survives_a_failing_point(self, tmp_path):
+        """Completed points stay cached even when a later point raises."""
+
+        def flaky(x):
+            if x == 3:
+                raise RuntimeError("boom")
+            return x * x
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as runner:
+            with pytest.raises(RuntimeError, match="boom"):
+                runner.map(flaky, [1, 2, 3])
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as second:
+            assert second.map(flaky, [1, 2]) == [1, 4]
+            assert second.hits == 2 and second.misses == 0
+
+    def test_cache_shared_across_runners(self, tmp_path):
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as first:
+            first.run(square, x=9)
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as second:
+            assert second.run(square, x=9) == 81
+            assert second.hits == 1
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(max_workers=0)
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() >= 1
+
+
+def fake_fig(scale: int = 1) -> dict:
+    return {"rows": scale * 10}
+
+
+class TestRunFigures:
+    def test_routes_through_registry(self, monkeypatch):
+        monkeypatch.setitem(experiments.EXPERIMENTS, "figX", fake_fig)
+        with ExperimentRunner(max_workers=1) as runner:
+            results = experiments.run_figures(
+                names=["figX"], runner=runner, fig_kwargs={"figX": {"scale": 3}}
+            )
+        assert results == {"figX": {"rows": 30}}
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            experiments.run_figures(names=["nope"])
+
+    def test_typoed_fig_kwargs_rejected(self):
+        with pytest.raises(KeyError, match="fig_kwargs"):
+            experiments.run_figures(names=["fig3"], fig_kwargs={"fig5": {"dim": 8}})
+
+    def test_fig_kwargs_for_unselected_figures_allowed(self, monkeypatch):
+        """A shared kwargs dict may cover figures outside this subset."""
+        monkeypatch.setitem(experiments.EXPERIMENTS, "figX", fake_fig)
+        shared = {"figX": {"scale": 2}, "fig4": {"input_hw": 96}}
+        with ExperimentRunner(max_workers=1) as runner:
+            results = experiments.run_figures(
+                names=["figX"], runner=runner, fig_kwargs=shared
+            )
+        assert results == {"figX": {"rows": 20}}
+
+    def test_registry_covers_all_figures(self):
+        assert sorted(experiments.EXPERIMENTS) == [
+            "fig3",
+            "fig4",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        ]
+        for name, fn in experiments.EXPERIMENTS.items():
+            assert callable(fn), name

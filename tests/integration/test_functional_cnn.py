@@ -8,7 +8,6 @@ the high-level model definitions and the instruction-level datapath.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.accelerator import Accelerator
 from repro.core.config import GemminiConfig

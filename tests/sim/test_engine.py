@@ -50,6 +50,50 @@ class TestLockstepMerge:
     def test_equal_times_allowed(self):
         assert lockstep_merge([make_stream([1.0, 1.0, 1.0])]) == [1.0]
 
+    def test_empty_stream_set(self):
+        """No streams at all: nothing to merge, nothing returned."""
+        assert lockstep_merge(iter([])) == []
+
+    def test_single_stream_runs_to_completion(self):
+        log = []
+        assert lockstep_merge([make_stream([0.5, 1.5, 9.0], log, "solo")]) == [9.0]
+        assert log == [("solo", 0.5), ("solo", 1.5), ("solo", 9.0)]
+
+    def test_mixed_empty_and_active_streams(self):
+        """Streams exhausted at priming report 0.0 and don't block others."""
+        streams = [make_stream([]), make_stream([4.0, 8.0]), make_stream([])]
+        assert lockstep_merge(streams) == [0.0, 8.0, 0.0]
+
+    def test_equal_clocks_break_ties_by_stream_index(self):
+        """With identical clocks every step, order falls back to stream
+        index — the determinism the dual-core runs rely on."""
+        log = []
+        streams = [
+            make_stream([1.0, 2.0], log, 0),
+            make_stream([1.0, 2.0], log, 1),
+            make_stream([1.0, 2.0], log, 2),
+        ]
+        assert lockstep_merge(streams) == [2.0, 2.0, 2.0]
+        # After priming (0,1,2 at clock 1), ties at each clock value must be
+        # served lowest-index first.
+        assert log == [
+            (0, 1.0), (1, 1.0), (2, 1.0),
+            (0, 2.0), (1, 2.0), (2, 2.0),
+        ]
+
+    def test_all_streams_share_constant_clock(self):
+        streams = [make_stream([3.0, 3.0, 3.0]), make_stream([3.0])]
+        assert lockstep_merge(streams) == [3.0, 3.0]
+
+    def test_decreasing_after_equal_clock_raises(self):
+        with pytest.raises(ValueError):
+            lockstep_merge([make_stream([2.0, 2.0, 1.0])])
+
+    def test_many_streams_scale(self):
+        """Heap-based selection merges hundreds of streams correctly."""
+        streams = [make_stream([float(i), float(i) + 100.0]) for i in range(200)]
+        assert lockstep_merge(streams) == [float(i) + 100.0 for i in range(200)]
+
     def test_interleaving_is_time_ordered(self):
         log = []
         streams = [

@@ -1,7 +1,5 @@
 """Unit tests for the push-button compiler."""
 
-import pytest
-
 from repro.core.config import default_config
 from repro.core.generator import SoftwareParams
 from repro.models import build_model

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import default_config
 from repro.core.generator import SoftwareParams
-from repro.models import build_model
 from repro.sim.engine import lockstep_merge
 from repro.soc.os_model import OSConfig
 from repro.soc.soc import make_soc
