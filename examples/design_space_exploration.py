@@ -1,105 +1,104 @@
 #!/usr/bin/env python3
 """Design-space exploration: the generator's reason to exist.
 
-Sweeps the two-level spatial-array template between the TPU-like
-(fully pipelined) and NVDLA-like (fully combinational) extremes plus array
-sizes, and reports — for each point — achievable clock, area, power, and
-delivered throughput on a representative convolution, combining the
-physical models (Figure 3) with the performance model.  This is the
-quantitative systolic-vs-vector comparison the paper argues existing
-generators cannot make.
+A thin client of the :mod:`repro.dse` subsystem.  First it reproduces the
+classic systolic-vs-vector sweep — a declarative two-axis space (array
+size x tile shape) searched exhaustively — then it lets an evolutionary
+search loose on the full template space and prints the Pareto front over
+latency / area / power, the quantitative comparison the paper argues
+existing generators cannot make.
 
-Every point is independent, so the sweep fans out across cores via
+Every evaluation fans out across cores through
 :class:`repro.eval.runner.ExperimentRunner` (set ``REPRO_WORKERS=1`` to
-force serial execution).
+force serial execution) and is content-hash cached, so re-running the
+example is nearly free.
 """
 
-from repro.core import GemminiConfig
-from repro.core.config import Dataflow
-from repro.core.spatial_array import SpatialArrayModel
+from repro.dse import (
+    Categorical,
+    Constraint,
+    EvaluationSpec,
+    Explorer,
+    ParamSpace,
+    front_table,
+    gemmini_space,
+    make_strategy,
+)
 from repro.eval.report import format_table
-from repro.eval.runner import ExperimentRunner
-from repro.physical.area import spatial_array_area
-from repro.physical.power import spatial_array_power_mw
-from repro.physical.timing import max_frequency_ghz
-
-#: ResNet50 stage-1 3x3 convolution as an im2col matmul.
-CONV_SHAPE = (3136, 576, 64)
 
 
-def sweep_points() -> list[dict]:
-    """Every (array size, tile shape) point of the sweep, as config kwargs."""
-    points = []
-    for dim in (8, 16, 32):
-        tile = 1
-        while tile <= dim:
-            points.append(
-                {
-                    "mesh_rows": dim // tile,
-                    "mesh_cols": dim // tile,
-                    "tile_rows": tile,
-                    "tile_cols": tile,
-                    "sp_capacity_bytes": 256 * 1024,
-                    "acc_capacity_bytes": 64 * 1024,
-                }
-            )
-            tile *= 2
-    return points
-
-
-def evaluate_point(params: dict) -> tuple:
-    """Physical + performance metrics for one design point (one table row)."""
-    config = GemminiConfig(**params)
-    m, k, n = CONV_SHAPE
-    freq = max_frequency_ghz(config)
-    area = spatial_array_area(config)
-    power = spatial_array_power_mw(config, frequency_ghz=freq)
-    cost = SpatialArrayModel(config).matmul_cost(m, k, n, Dataflow.WS)
-    seconds = cost.total / (freq * 1e9)
-    throughput = m * k * n / seconds / 1e9  # GMAC/s
-    return (
-        f"{config.dim}x{config.dim}",
-        f"{config.tile_rows}x{config.tile_cols}",
-        f"{freq:.2f}",
-        f"{area / 1000:.0f}k",
-        f"{power:.0f}",
-        f"{throughput:.0f}",
-        f"{throughput / (area / 1000):.2f}",
+def classic_space() -> ParamSpace:
+    """The historic 9-point sweep, declared instead of hand-rolled."""
+    return ParamSpace(
+        name="systolic-vs-vector",
+        axes=(
+            Categorical("dim", (8, 16, 32)),
+            Categorical("tile", (1, 2, 4, 8, 16, 32)),
+        ),
+        constraints=(
+            Constraint("tile-divides-dim", lambda p: p["dim"] % p["tile"] == 0),
+        ),
     )
 
 
-def explore(runner: ExperimentRunner | None = None) -> list[tuple]:
-    """Evaluate the whole sweep, fanning points out across cores."""
-    points = sweep_points()
-    if runner is not None:
-        return runner.map(evaluate_point, points, label="dse")
-    with ExperimentRunner() as owned:
-        return owned.map(evaluate_point, points, label="dse")
-
-
 def main() -> None:
-    rows = explore()
+    # -- 1. the exhaustive two-axis sweep (grid strategy) --------------- #
+    space = classic_space()
+    explorer = Explorer(
+        space,
+        make_strategy("grid", space),
+        EvaluationSpec(),  # one ResNet50 conv layer; latency/area/power
+        budget=space.size(),
+    )
+    result = explorer.explore()
+    rows = []
+    for e in sorted(result.trace, key=lambda e: (e.point_dict["dim"], e.point_dict["tile"])):
+        p = e.point_dict
+        rows.append(
+            (
+                f"{p['dim']}x{p['dim']}",
+                f"{p['tile']}x{p['tile']}",
+                f"{e.metric('fmax_ghz'):.2f}",
+                f"{e.metric('area_mm2') * 1000:.0f}k",
+                f"{e.metric('power_mw'):.0f}",
+                f"{e.metric('throughput_gmacs'):.0f}",
+                "*" if e in result.front else "",
+            )
+        )
     print(
         format_table(
-            [
-                "PEs",
-                "tile",
-                "fmax (GHz)",
-                "area (um^2)",
-                "power (mW)",
-                "GMAC/s",
-                "GMAC/s per kum^2",
-            ],
+            ["PEs", "tile", "fmax (GHz)", "area (um^2)", "power (mW)", "GMAC/s", "Pareto"],
             rows,
             title="Design space: conv throughput at each array's own fmax",
         )
     )
     print(
         "\nReading the table: fully pipelined arrays (tile 1x1) clock ~2.7x"
-        "\nhigher but spend ~1.8x the area; the best performance-per-area"
-        "\npoint sits between the TPU-like and NVDLA-like extremes, which is"
-        "\nexactly the trade-off space the two-level template exposes."
+        "\nhigher than fully combinational ones (tile NxN); the pipeline"
+        "\nregisters buy that throughput at an area and power premium at"
+        "\nevery size, so under latency/area/power every geometry here is"
+        "\nPareto-optimal — a pure trade-off curve between the TPU-like and"
+        "\nNVDLA-like extremes.  Real domination appears once the search"
+        "\nbelow adds the memory, banking and dataflow axes."
     )
+
+    # -- 2. evolutionary search over the full template space ------------ #
+    space = gemmini_space(max_dim=32)
+    explorer = Explorer(
+        space,
+        make_strategy("evolutionary", space, seed=0),
+        EvaluationSpec(),
+        budget=60,
+    )
+    result = explorer.explore()
+    print()
+    print(front_table(result))
+    print(
+        f"\nevolutionary search: {result.evaluations} of "
+        f"~{space.cartesian_size} candidate designs evaluated, "
+        f"{len(result.front)} Pareto-optimal, hypervolume {result.hypervolume:.6g}"
+    )
+    print("Try `gemmini-repro dse --help` for strategies, budgets and constraints.")
 
 
 if __name__ == "__main__":

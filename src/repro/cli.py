@@ -13,6 +13,9 @@ Exposes the common workflows without writing Python:
     List the model zoo.
 ``gemmini-repro table1``
     Print the generator comparison matrix.
+``gemmini-repro dse``
+    Search the design space: pick a strategy, budget, objectives,
+    constraints and workload; print the Pareto front and export it.
 """
 
 from __future__ import annotations
@@ -138,6 +141,57 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def cmd_dse(args) -> int:
+    from repro.dse import (
+        EvaluationSpec,
+        Explorer,
+        conv_workload,
+        default_cache_dir,
+        export_csv,
+        export_json,
+        front_table,
+        gemmini_space,
+        make_strategy,
+        model_workload,
+        parse_bound,
+    )
+    from repro.eval.runner import ExperimentRunner
+
+    if args.workload == "conv":
+        workload = conv_workload()
+    else:
+        workload = model_workload(args.workload, input_hw=args.input_hw, seq=args.seq)
+    spec = EvaluationSpec(
+        workload=workload,
+        objectives=tuple(n.strip() for n in args.objectives.split(",") if n.strip()),
+        fidelity=args.fidelity,
+    )
+    space = gemmini_space(max_dim=args.max_dim)
+    strategy = make_strategy(args.strategy, space, seed=args.seed)
+    bounds = tuple(parse_bound(text) for text in args.constraint)
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    with ExperimentRunner(max_workers=args.workers, cache=cache_dir) as runner:
+        explorer = Explorer(
+            space, strategy, spec, budget=args.budget, bounds=bounds, runner=runner
+        )
+        result = explorer.explore()
+        stats = runner.stats()
+
+    print(front_table(result, extra_metrics=("fmax_ghz", "throughput_gmacs")))
+    print(
+        f"\nevaluated {result.evaluations} points "
+        f"({len(result.front)} on the front, {len(result.dominated)} dominated, "
+        f"{len(result.infeasible)} infeasible), hypervolume {result.hypervolume:.6g}"
+    )
+    print(f"dse {stats}")
+    if args.export_json:
+        print(f"wrote {export_json(result, args.export_json)}")
+    if args.export_csv:
+        print(f"wrote {export_csv(result, args.export_csv)}")
+    return 0 if result.front else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gemmini-repro",
@@ -170,6 +224,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_table1 = sub.add_parser("table1", help="print the Table I matrix")
     p_table1.set_defaults(func=cmd_table1)
+
+    p_dse = sub.add_parser("dse", help="search the design space (Pareto optimisation)")
+    p_dse.add_argument(
+        "--strategy",
+        choices=("grid", "random", "evolutionary", "annealing"),
+        default="evolutionary",
+        help="search strategy",
+    )
+    p_dse.add_argument("--budget", type=int, default=50, help="max design points to evaluate")
+    p_dse.add_argument("--seed", type=int, default=0, help="search RNG seed")
+    p_dse.add_argument(
+        "--workload",
+        choices=("conv",) + tuple(model_names()),
+        default="conv",
+        help="matmul suite to score designs on (conv = one ResNet50 conv layer)",
+    )
+    p_dse.add_argument("--input-hw", type=int, default=224, help="CNN input size")
+    p_dse.add_argument("--seq", type=int, default=128, help="BERT sequence length")
+    p_dse.add_argument(
+        "--objectives",
+        default="latency_ms,area_mm2,power_mw",
+        help="comma-separated objectives (see repro.dse.OBJECTIVES)",
+    )
+    p_dse.add_argument(
+        "--constraint",
+        action="append",
+        default=[],
+        metavar="METRIC<=VALUE",
+        help="feasibility bound, e.g. area_mm2<=2 or fmax_ghz>=1 (repeatable)",
+    )
+    p_dse.add_argument("--max-dim", type=int, default=32, help="largest PE-grid edge in the space")
+    p_dse.add_argument(
+        "--fidelity",
+        choices=("analytic", "soc"),
+        default="analytic",
+        help="cost model: closed-form array model or full SoC simulation",
+    )
+    p_dse.add_argument("--workers", type=int, default=None, help="parallel evaluator processes")
+    p_dse.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_dse.add_argument("--export-json", default=None, help="write trace + front JSON here")
+    p_dse.add_argument("--export-csv", default=None, help="write per-point CSV here")
+    p_dse.set_defaults(func=cmd_dse)
 
     return parser
 

@@ -9,10 +9,27 @@ parameters are all design-time choices (paper Section III-A).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.core.dtypes import DType, INT8, INT32, FP32, dtype_by_name
 from repro.mem.tlb import TLBConfig
+
+
+def geometry_kwargs(dim: int, tile: int = 1) -> dict:
+    """Field overrides for a square ``dim x dim`` PE grid of ``tile x tile``
+    combinational tiles — the single source of the dim/tile -> mesh/tile
+    mapping (used by :meth:`GemminiConfig.with_geometry` and the DSE
+    space's point materialisation)."""
+    if dim < 1 or tile < 1:
+        raise ValueError(f"dim and tile must be >= 1, got dim={dim}, tile={tile}")
+    if dim % tile:
+        raise ValueError(f"tile edge {tile} must divide PE-grid edge {dim}")
+    return {
+        "mesh_rows": dim // tile,
+        "mesh_cols": dim // tile,
+        "tile_rows": tile,
+        "tile_cols": tile,
+    }
 
 
 class Dataflow(enum.Enum):
@@ -159,21 +176,35 @@ class GemminiConfig:
     # ------------------------------------------------------------------ #
 
     def __post_init__(self) -> None:
-        if min(self.mesh_rows, self.mesh_cols, self.tile_rows, self.tile_cols) < 1:
-            raise ValueError("spatial array dimensions must be >= 1")
+        for name in ("mesh_rows", "mesh_cols", "tile_rows", "tile_cols"):
+            if getattr(self, name) < 1:
+                raise ValueError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
         if self.grid_rows != self.grid_cols:
             raise ValueError(
-                f"PE grid must be square, got {self.grid_rows}x{self.grid_cols}"
+                f"PE grid must be square, got {self.grid_rows}x{self.grid_cols} "
+                f"({self.mesh_rows}x{self.mesh_cols} tiles of "
+                f"{self.tile_rows}x{self.tile_cols} PEs)"
             )
-        if self.sp_banks < 1 or self.acc_banks < 1:
-            raise ValueError("bank counts must be >= 1")
+        for name in ("sp_capacity_bytes", "acc_capacity_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        for name in ("sp_banks", "acc_banks"):
+            banks = getattr(self, name)
+            if banks < 1 or banks & (banks - 1):
+                raise ValueError(f"{name} must be a positive power of two, got {banks}")
         if self.sp_capacity_bytes % (self.sp_row_bytes * self.sp_banks):
             raise ValueError(
-                "scratchpad capacity must divide evenly into banks of whole rows"
+                f"sp_capacity_bytes={self.sp_capacity_bytes} must divide into "
+                f"{self.sp_banks} banks of whole {self.sp_row_bytes}-byte rows "
+                f"(DIM={self.dim} x {self.input_type.bytes}-byte elements)"
             )
         if self.acc_capacity_bytes % (self.acc_row_bytes * self.acc_banks):
             raise ValueError(
-                "accumulator capacity must divide evenly into banks of whole rows"
+                f"acc_capacity_bytes={self.acc_capacity_bytes} must divide into "
+                f"{self.acc_banks} banks of whole {self.acc_row_bytes}-byte rows "
+                f"(DIM={self.dim} x {self.acc_type.bytes}-byte elements)"
             )
         if self.dma_bus_bytes <= 0 or self.dma_bus_bytes & (self.dma_bus_bytes - 1):
             raise ValueError("dma_bus_bytes must be a positive power of two")
@@ -209,6 +240,30 @@ class GemminiConfig:
 
     def with_im2col(self, has_im2col: bool) -> "GemminiConfig":
         return replace(self, has_im2col=has_im2col)
+
+    def with_geometry(self, dim: int, tile: int = 1) -> "GemminiConfig":
+        """Variant with a ``dim x dim`` PE grid built from ``tile x tile``
+        combinational tiles (the design-space geometry parameterisation)."""
+        return replace(self, **geometry_kwargs(dim, tile))
+
+    def to_dict(self) -> dict:
+        """JSON-able field dict; inverse of :func:`config_from_dict`."""
+        from dataclasses import asdict
+
+        out: dict = {}
+        for f in fields(self):
+            if not f.compare:  # simulation knobs are not hardware identity
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, DType):
+                out[f.name] = value.name
+            elif isinstance(value, Dataflow):
+                out[f.name] = value.name
+            elif f.name == "tlb":
+                out[f.name] = asdict(value)
+            else:
+                out[f.name] = value
+        return out
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -1,0 +1,113 @@
+"""Search-driven design-space exploration with Pareto optimisation.
+
+The subsystem the paper's "systematic evaluation" claim calls for: a
+declarative parameter space over the accelerator template
+(:mod:`repro.dse.space`), a multi-objective cost model built from the
+calibrated physical and performance models (:mod:`repro.dse.objectives`),
+pluggable seeded search strategies (:mod:`repro.dse.strategies`),
+non-domination/hypervolume machinery (:mod:`repro.dse.pareto`), and an
+:class:`Explorer` that evaluates every proposed point in parallel through
+the content-hash result cache (:mod:`repro.dse.engine`).  Results export
+to JSON/CSV for plotting (:mod:`repro.dse.export`).
+"""
+
+from repro.dse.engine import (
+    Explorer,
+    ExplorationResult,
+    default_cache_dir,
+    shared_hypervolume,
+)
+from repro.dse.export import export_csv, export_json, front_table, result_to_dict
+from repro.dse.objectives import (
+    OBJECTIVES,
+    Evaluation,
+    EvaluationSpec,
+    Objective,
+    Workload,
+    conv_workload,
+    evaluate_design,
+    model_workload,
+    parse_objectives,
+)
+from repro.dse.pareto import (
+    MetricBound,
+    crowding_distance,
+    dominates,
+    front_hypervolume,
+    hypervolume,
+    nondominated_sort,
+    pareto_front,
+    parse_bound,
+    reference_point,
+    split_front,
+)
+from repro.dse.space import (
+    Axis,
+    Boolean,
+    Categorical,
+    Constraint,
+    LogRange,
+    ParamSpace,
+    SpaceError,
+    gemmini_space,
+    point_key,
+    point_label,
+    point_to_config,
+)
+from repro.dse.strategies import (
+    STRATEGIES,
+    AnnealingSearch,
+    EvolutionarySearch,
+    GridSearch,
+    RandomSearch,
+    Strategy,
+    make_strategy,
+)
+
+__all__ = [
+    "Explorer",
+    "ExplorationResult",
+    "default_cache_dir",
+    "shared_hypervolume",
+    "export_csv",
+    "export_json",
+    "front_table",
+    "result_to_dict",
+    "OBJECTIVES",
+    "Evaluation",
+    "EvaluationSpec",
+    "Objective",
+    "Workload",
+    "conv_workload",
+    "evaluate_design",
+    "model_workload",
+    "parse_objectives",
+    "MetricBound",
+    "crowding_distance",
+    "dominates",
+    "front_hypervolume",
+    "hypervolume",
+    "nondominated_sort",
+    "pareto_front",
+    "parse_bound",
+    "reference_point",
+    "split_front",
+    "Axis",
+    "Boolean",
+    "Categorical",
+    "Constraint",
+    "LogRange",
+    "ParamSpace",
+    "SpaceError",
+    "gemmini_space",
+    "point_key",
+    "point_label",
+    "point_to_config",
+    "STRATEGIES",
+    "AnnealingSearch",
+    "EvolutionarySearch",
+    "GridSearch",
+    "RandomSearch",
+    "Strategy",
+    "make_strategy",
+]

@@ -1,0 +1,102 @@
+"""Export and rendering of exploration results: JSON, CSV, tables.
+
+The JSON layout is the plotting interface (and the CI artifact format):
+
+.. code-block:: json
+
+    {"meta": {strategy, seed, budget, objectives, bounds, ...},
+     "reference": [...], "hypervolume": ...,
+     "front": [{point..., metrics..., "on_front": true}, ...],
+     "trace": [...]}
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.dse.engine import ExplorationResult
+from repro.dse.objectives import Evaluation
+from repro.eval.report import format_table
+
+__all__ = ["result_to_dict", "export_json", "export_csv", "front_table"]
+
+
+def _evaluation_row(evaluation: Evaluation, on_front: bool) -> dict:
+    row: dict = dict(evaluation.point)
+    row.update(evaluation.metric_dict)
+    row["config"] = evaluation.config_summary
+    row["on_front"] = on_front
+    return row
+
+
+def result_to_dict(result: ExplorationResult) -> dict:
+    """The whole result as one JSON-serialisable dict."""
+    front_keys = {e.point for e in result.front}
+    return {
+        "meta": {
+            "strategy": result.strategy,
+            "seed": result.seed,
+            "budget": result.budget,
+            "evaluations": result.evaluations,
+            "workload": result.spec.workload.name,
+            "fidelity": result.spec.fidelity,
+            "objectives": list(result.spec.objectives),
+            "bounds": [str(b) for b in result.bounds],
+            "infeasible": len(result.infeasible),
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+        },
+        "reference": list(result.reference),
+        "hypervolume": result.hypervolume,
+        "front": [_evaluation_row(e, True) for e in result.front],
+        "trace": [_evaluation_row(e, e.point in front_keys) for e in result.trace],
+    }
+
+
+def export_json(result: ExplorationResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def export_csv(result: ExplorationResult, path: str | Path) -> Path:
+    """One row per evaluated point: axes, metrics, front membership."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    front_keys = {e.point for e in result.front}
+    rows = [_evaluation_row(e, e.point in front_keys) for e in result.trace]
+    fieldnames = list(rows[0]) if rows else ["on_front"]
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def front_table(result: ExplorationResult, extra_metrics: Iterable[str] = ()) -> str:
+    """Human-readable Pareto front, objectives first, sorted by the first."""
+    objectives = result.objectives
+    metric_names = [o.name for o in objectives] + [
+        m for m in extra_metrics if m not in {o.name for o in objectives}
+    ]
+    front = sorted(result.front, key=lambda e: e.metric(objectives[0].name))
+    # Designs differing only in axes the objectives cannot see (e.g. bank
+    # counts under the analytic model) tie exactly; show each tie once.
+    grouped: dict[tuple, list[Evaluation]] = {}
+    for e in front:
+        grouped.setdefault(tuple(e.metric(m) for m in metric_names), []).append(e)
+    rows = []
+    for values, ties in grouped.items():
+        name = ties[0].config_summary.split(",")[0]
+        if len(ties) > 1:
+            name += f" [x{len(ties)}]"
+        rows.append(tuple([name] + [f"{v:.4g}" for v in values]))
+    title = (
+        f"Pareto front — {result.strategy}, budget {result.budget}, "
+        f"seed {result.seed}, workload {result.spec.workload.name}"
+    )
+    return format_table(["design"] + metric_names, rows, title=title)

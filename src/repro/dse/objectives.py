@@ -1,0 +1,282 @@
+"""Multi-objective cost evaluation of one design point.
+
+The evaluator combines the repo's calibrated models into one typed
+:class:`Evaluation` per point: cycles from the analytic
+:class:`~repro.core.spatial_array.SpatialArrayModel` (or a full SoC run at
+``fidelity="soc"``), achievable clock from :mod:`repro.physical.timing`,
+area from :mod:`repro.physical.area`, power from
+:mod:`repro.physical.power` and energy from :mod:`repro.physical.energy`.
+
+Everything here is a frozen dataclass or a module-level function so an
+evaluation can be shipped to a worker process and content-hashed into the
+:class:`~repro.eval.runner.ExperimentRunner` result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import Dataflow, GemminiConfig
+from repro.core.spatial_array import SpatialArrayModel
+from repro.dse.space import point_to_config
+from repro.physical.area import accelerator_area
+from repro.physical.energy import estimate_energy
+from repro.physical.power import power_mw
+from repro.physical.timing import max_frequency_ghz
+
+__all__ = [
+    "Objective",
+    "OBJECTIVES",
+    "parse_objectives",
+    "Workload",
+    "conv_workload",
+    "model_workload",
+    "EvaluationSpec",
+    "Evaluation",
+    "evaluate_design",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Objectives                                                              #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation target: a metric name plus its direction."""
+
+    name: str
+    direction: str  # "min" | "max"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ValueError(f"objective {self.name!r}: direction must be min or max")
+
+    def ascending(self, value: float) -> float:
+        """Map to minimisation coordinates (lower is always better)."""
+        return value if self.direction == "min" else -value
+
+
+#: Every metric the evaluator produces, with its optimisation direction.
+OBJECTIVES: dict[str, Objective] = {
+    o.name: o
+    for o in (
+        Objective("cycles", "min", "cycles"),
+        Objective("latency_ms", "min", "ms"),
+        Objective("area_mm2", "min", "mm^2"),
+        Objective("power_mw", "min", "mW"),
+        Objective("energy_mj", "min", "mJ"),
+        Objective("fmax_ghz", "max", "GHz"),
+        Objective("throughput_gmacs", "max", "GMAC/s"),
+        Objective("edp", "min", "mJ*ms"),
+    )
+}
+
+
+def parse_objectives(names: str | list[str] | tuple[str, ...]) -> tuple[Objective, ...]:
+    """Resolve a comma-separated string (or sequence) of objective names."""
+    if isinstance(names, str):
+        names = [n.strip() for n in names.split(",") if n.strip()]
+    unknown = [n for n in names if n not in OBJECTIVES]
+    if unknown:
+        raise ValueError(f"unknown objective(s) {unknown}; known: {sorted(OBJECTIVES)}")
+    if len(names) < 2:
+        raise ValueError("multi-objective search needs at least two objectives")
+    return tuple(OBJECTIVES[n] for n in names)
+
+
+# ---------------------------------------------------------------------- #
+# Workloads                                                               #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A suite of matmul shapes the design is scored on.
+
+    ``shapes`` are im2col-lowered ``(M, K, N)`` matmuls; ``model``/kwargs
+    are retained so ``fidelity="soc"`` evaluations can rebuild and run the
+    full network on a simulated SoC.
+    """
+
+    name: str
+    shapes: tuple[tuple[int, int, int], ...]
+    model: str | None = None
+    model_kwargs: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ValueError(f"workload {self.name!r} has no matmul shapes")
+        for m, k, n in self.shapes:
+            if min(m, k, n) < 1:
+                raise ValueError(f"workload {self.name!r}: bad shape {(m, k, n)}")
+
+    @property
+    def total_macs(self) -> int:
+        return sum(m * k * n for m, k, n in self.shapes)
+
+    @property
+    def operand_bytes(self) -> int:
+        """Bytes of A, B and C touched once each (int8 operands/outputs)."""
+        return sum(m * k + k * n + m * n for m, k, n in self.shapes)
+
+
+def conv_workload() -> Workload:
+    """ResNet50 stage-1 3x3 convolution as an im2col matmul (the historic
+    design_space_exploration.py example shape)."""
+    return Workload(name="conv3x3", shapes=((3136, 576, 64),))
+
+
+def model_workload(name: str, input_hw: int = 224, seq: int = 128) -> Workload:
+    """Every matmul-able layer of a zoo model, im2col-lowered.
+
+    Conv becomes ``(H_out*W_out, k*k*C_in, C_out)``; Gemm/MatMul map
+    directly; depthwise convolutions run per-channel and contribute
+    ``(H_out*W_out, k*k, 1)`` scaled into one aggregate shape.
+    """
+    from repro.models.zoo import build_model
+
+    kwargs = {"seq": seq} if name == "bert" else {"input_hw": input_hw}
+    graph = build_model(name, **kwargs)
+    shapes: list[tuple[int, int, int]] = []
+    for node in graph.nodes:
+        if node.op == "Conv":
+            a = graph.tensor(node.inputs[0])
+            out = graph.tensor(node.outputs[0])
+            kernel = node.attrs.get("kernel", 1)
+            shapes.append((out.shape[0] * out.shape[1], kernel * kernel * a.shape[2], out.shape[2]))
+        elif node.op == "DepthwiseConv":
+            out = graph.tensor(node.outputs[0])
+            kernel = node.attrs.get("kernel", 1)
+            # One channel's patch matmul, repeated C times; fold the repeat
+            # into M so the aggregate MAC count is preserved.
+            shapes.append((out.shape[0] * out.shape[1] * out.shape[2], kernel * kernel, 1))
+        elif node.op in ("Gemm", "MatMul"):
+            a = graph.tensor(node.inputs[0])
+            out = graph.tensor(node.outputs[0])
+            shapes.append((a.shape[0], a.shape[1], out.shape[1]))
+    return Workload(
+        name=name,
+        shapes=tuple(shapes),
+        model=name,
+        model_kwargs=tuple(sorted(kwargs.items())),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Evaluation                                                              #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class EvaluationSpec:
+    """Everything needed to score a point, in picklable/hashable form."""
+
+    workload: Workload = field(default_factory=conv_workload)
+    objectives: tuple[str, ...] = ("latency_ms", "area_mm2", "power_mw")
+    fidelity: str = "analytic"  # "analytic" | "soc"
+    cpu: str = "none"  # host CPU included in the area account
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in ("analytic", "soc"):
+            raise ValueError(f"fidelity must be 'analytic' or 'soc', got {self.fidelity!r}")
+        parse_objectives(self.objectives)
+        if self.fidelity == "soc" and self.workload.model is None:
+            raise ValueError(
+                f"workload {self.workload.name!r} carries no model; "
+                "soc fidelity needs a zoo model workload"
+            )
+
+    @property
+    def objective_set(self) -> tuple[Objective, ...]:
+        return parse_objectives(self.objectives)
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """The scored result of one design point."""
+
+    point: tuple[tuple[str, object], ...]  # sorted (axis, value) pairs
+    config_summary: str
+    metrics: tuple[tuple[str, float], ...]  # sorted (metric, value) pairs
+
+    @property
+    def point_dict(self) -> dict:
+        return dict(self.point)
+
+    @property
+    def metric_dict(self) -> dict[str, float]:
+        return dict(self.metrics)
+
+    def metric(self, name: str) -> float:
+        for key, value in self.metrics:
+            if key == name:
+                return value
+        raise KeyError(f"evaluation has no metric {name!r}; has {[k for k, __ in self.metrics]}")
+
+    def vector(self, objectives: tuple[Objective, ...]) -> tuple[float, ...]:
+        """Objective values in minimisation coordinates (for domination)."""
+        return tuple(o.ascending(self.metric(o.name)) for o in objectives)
+
+
+def _soc_cycles_and_energy(config: GemminiConfig, spec: EvaluationSpec) -> tuple[float, float]:
+    """Full-SoC run: measured cycles and energy for the workload's model."""
+    from repro.core.generator import SoftwareParams
+    from repro.models.zoo import build_model
+    from repro.physical.energy import estimate_run_energy
+    from repro.soc.soc import make_soc
+    from repro.sw.compiler import compile_graph
+    from repro.sw.runtime import Runtime
+
+    graph = build_model(spec.workload.model, **dict(spec.workload.model_kwargs))
+    soc = make_soc(gemmini=config)
+    result = Runtime(soc.tile, compile_graph(graph, SoftwareParams.from_config(config))).run()
+    return float(result.total_cycles), estimate_run_energy(soc, result).total_mj
+
+
+def evaluate_design(point: dict, spec: EvaluationSpec) -> Evaluation:
+    """Score one point: the cost model every strategy optimises against.
+
+    Module-level so :class:`~repro.eval.runner.ExperimentRunner` can ship
+    it to worker processes and cache results under a stable key.
+    """
+    config = point_to_config(point)
+    fmax = max_frequency_ghz(config)
+    area_um2 = accelerator_area(config, cpu=spec.cpu).total
+    dyn_power = power_mw(config, frequency_ghz=fmax)
+
+    workload = spec.workload
+    if spec.fidelity == "soc":
+        cycles, energy_mj = _soc_cycles_and_energy(config, spec)
+    else:
+        model = SpatialArrayModel(config)
+        dataflow = Dataflow.WS if config.dataflow is Dataflow.BOTH else config.dataflow
+        cycles = sum(model.matmul_cost(m, k, n, dataflow).total for m, k, n in workload.shapes)
+        energy_mj = estimate_energy(
+            config,
+            macs=workload.total_macs,
+            cycles=cycles,
+            dma_bytes=workload.operand_bytes,
+            dram_bytes=workload.operand_bytes,
+            clock_ghz=fmax,
+        ).total_mj
+
+    seconds = cycles / (fmax * 1e9)
+    latency_ms = seconds * 1e3
+    metrics = {
+        "cycles": float(cycles),
+        "latency_ms": latency_ms,
+        "area_mm2": area_um2 / 1e6,
+        "power_mw": dyn_power,
+        "energy_mj": energy_mj,
+        "fmax_ghz": fmax,
+        "throughput_gmacs": workload.total_macs / seconds / 1e9,
+        "edp": energy_mj * latency_ms,
+    }
+    return Evaluation(
+        point=tuple(sorted(point.items())),
+        config_summary=config.describe(),
+        metrics=tuple(sorted(metrics.items())),
+    )

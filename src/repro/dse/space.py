@@ -1,0 +1,357 @@
+"""Declarative parameter spaces over the accelerator template.
+
+A :class:`ParamSpace` is a set of named, ordered axes (categorical,
+log-range, boolean) plus conditional constraints tying axes together
+(e.g. the tile edge must divide the PE-grid edge so the two-level
+geometry stays square).  Points are plain ``{axis name: value}`` dicts,
+which keeps them picklable, hashable (via :func:`point_key`) and
+JSON-exportable; :func:`point_to_config` materialises a point into a
+validated :class:`~repro.core.config.GemminiConfig`.
+
+The space supports the four access patterns search strategies need:
+uniform :meth:`~ParamSpace.sample`, single-step :meth:`~ParamSpace.neighbors`
+(the mutation operator), exhaustive :meth:`~ParamSpace.points` enumeration,
+and :meth:`~ParamSpace.size` / :meth:`~ParamSpace.estimate_size` for
+budgeting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.config import Dataflow, GemminiConfig, geometry_kwargs
+
+__all__ = [
+    "Axis",
+    "Categorical",
+    "Boolean",
+    "LogRange",
+    "Constraint",
+    "ParamSpace",
+    "SpaceError",
+    "point_key",
+    "point_label",
+    "point_to_config",
+    "gemmini_space",
+]
+
+
+class SpaceError(Exception):
+    """Raised for malformed spaces or unsatisfiable sampling."""
+
+
+# ---------------------------------------------------------------------- #
+# Axes                                                                    #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named design parameter with a finite, ordered value list."""
+
+    name: str
+    choices: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpaceError("axis needs a name")
+        if not self.choices:
+            raise SpaceError(f"axis {self.name!r} has no choices")
+        if len(set(map(repr, self.choices))) != len(self.choices):
+            raise SpaceError(f"axis {self.name!r} has duplicate choices")
+
+    def index(self, value: Any) -> int:
+        try:
+            return self.choices.index(value)
+        except ValueError:
+            raise SpaceError(
+                f"axis {self.name!r}: {value!r} not among {list(self.choices)}"
+            ) from None
+
+    def sample(self, rng: random.Random) -> Any:
+        return self.choices[rng.randrange(len(self.choices))]
+
+    def steps(self, value: Any) -> list[Any]:
+        """The values one ordered step away (the axis-local neighbourhood)."""
+        i = self.index(value)
+        out = []
+        if i > 0:
+            out.append(self.choices[i - 1])
+        if i + 1 < len(self.choices):
+            out.append(self.choices[i + 1])
+        return out
+
+
+def Categorical(name: str, choices: Sequence[Any]) -> Axis:
+    """An ordered categorical axis (order defines the neighbour step)."""
+    return Axis(name, tuple(choices))
+
+
+def Boolean(name: str) -> Axis:
+    """A two-valued axis; False and True are each other's neighbours."""
+    return Axis(name, (False, True))
+
+
+def LogRange(name: str, lo: int, hi: int, base: int = 2) -> Axis:
+    """Geometric axis: ``lo, lo*base, ... <= hi`` (both ends inclusive)."""
+    if lo < 1 or hi < lo or base < 2:
+        raise SpaceError(f"axis {name!r}: bad log range [{lo}, {hi}] base {base}")
+    choices = []
+    v = lo
+    while v <= hi:
+        choices.append(v)
+        v *= base
+    return Axis(name, tuple(choices))
+
+
+# ---------------------------------------------------------------------- #
+# Constraints                                                             #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named predicate over a whole point (conditional axis coupling)."""
+
+    name: str
+    predicate: Callable[[dict], bool]
+
+    def holds(self, point: dict) -> bool:
+        return bool(self.predicate(point))
+
+
+# ---------------------------------------------------------------------- #
+# Point helpers                                                           #
+# ---------------------------------------------------------------------- #
+
+
+def point_key(point: dict) -> tuple:
+    """Canonical hashable identity of a point (axis order independent)."""
+    return tuple(sorted(point.items()))
+
+
+def point_label(point: dict) -> str:
+    """Short human-readable label, stable across runs (cache-friendly)."""
+    parts = []
+    for name, value in sorted(point.items()):
+        if isinstance(value, bool):
+            value = "y" if value else "n"
+        parts.append(f"{name}={value}")
+    return ",".join(parts)
+
+
+# ---------------------------------------------------------------------- #
+# The space                                                               #
+# ---------------------------------------------------------------------- #
+
+#: Rejection-sampling attempts before declaring the constraints unsatisfiable.
+_MAX_SAMPLE_ATTEMPTS = 10_000
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """A finite design space: axes x constraints, with search operators."""
+
+    axes: tuple[Axis, ...]
+    constraints: tuple[Constraint, ...] = ()
+    name: str = "space"
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise SpaceError(f"duplicate axis names in {names}")
+        if not self.axes:
+            raise SpaceError("a space needs at least one axis")
+
+    # -- lookup --------------------------------------------------------- #
+
+    def axis(self, name: str) -> Axis:
+        for a in self.axes:
+            if a.name == name:
+                return a
+        raise SpaceError(f"unknown axis {name!r}; known: {[a.name for a in self.axes]}")
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.axes)
+
+    # -- validity ------------------------------------------------------- #
+
+    def is_valid(self, point: dict) -> bool:
+        """Whether ``point`` assigns every axis a legal value and satisfies
+        every constraint."""
+        if set(point) != set(self.axis_names):
+            return False
+        for a in self.axes:
+            if point[a.name] not in a.choices:
+                return False
+        return all(c.holds(point) for c in self.constraints)
+
+    def check(self, point: dict) -> None:
+        """Like :meth:`is_valid` but raises naming the first violation."""
+        missing = set(self.axis_names) - set(point)
+        extra = set(point) - set(self.axis_names)
+        if missing or extra:
+            raise SpaceError(
+                f"point axes mismatch: missing {sorted(missing)}, extra {sorted(extra)}"
+            )
+        for a in self.axes:
+            a.index(point[a.name])  # raises with a precise message
+        for c in self.constraints:
+            if not c.holds(point):
+                raise SpaceError(f"point {point_label(point)} violates {c.name!r}")
+
+    # -- sizing --------------------------------------------------------- #
+
+    @property
+    def cartesian_size(self) -> int:
+        """Size ignoring constraints (product of axis cardinalities)."""
+        size = 1
+        for a in self.axes:
+            size *= len(a.choices)
+        return size
+
+    def size(self, limit: int = 1_000_000) -> int:
+        """Exact number of valid points, by enumeration (bounded by ``limit``)."""
+        if self.cartesian_size > limit:
+            raise SpaceError(
+                f"cartesian size {self.cartesian_size} exceeds enumeration "
+                f"limit {limit}; use estimate_size()"
+            )
+        return sum(1 for __ in self.points())
+
+    def estimate_size(self, rng: random.Random, samples: int = 2000) -> float:
+        """Monte-Carlo size estimate: validity fraction x cartesian size."""
+        if samples < 1:
+            raise SpaceError("samples must be >= 1")
+        valid = 0
+        for __ in range(samples):
+            candidate = {a.name: a.sample(rng) for a in self.axes}
+            valid += all(c.holds(candidate) for c in self.constraints)
+        return self.cartesian_size * valid / samples
+
+    # -- search operators ------------------------------------------------ #
+
+    def sample(self, rng: random.Random) -> dict:
+        """One uniformly drawn valid point (rejection sampling)."""
+        for __ in range(_MAX_SAMPLE_ATTEMPTS):
+            candidate = {a.name: a.sample(rng) for a in self.axes}
+            if all(c.holds(candidate) for c in self.constraints):
+                return candidate
+        raise SpaceError(
+            f"no valid point found in {_MAX_SAMPLE_ATTEMPTS} draws; "
+            f"constraints {[c.name for c in self.constraints]} may be unsatisfiable"
+        )
+
+    def neighbors(self, point: dict) -> list[dict]:
+        """All valid points one ordered axis-step away from ``point``.
+
+        This is the mutation neighbourhood shared by the evolutionary and
+        annealing strategies; constraint-violating steps are filtered out.
+        """
+        self.check(point)
+        out = []
+        for a in self.axes:
+            for value in a.steps(point[a.name]):
+                candidate = dict(point)
+                candidate[a.name] = value
+                if all(c.holds(candidate) for c in self.constraints):
+                    out.append(candidate)
+        return out
+
+    def points(self) -> Iterator[dict]:
+        """Enumerate every valid point in deterministic axis order."""
+        names = self.axis_names
+        for values in itertools.product(*(a.choices for a in self.axes)):
+            candidate = dict(zip(names, values))
+            if all(c.holds(candidate) for c in self.constraints):
+                yield candidate
+
+
+# ---------------------------------------------------------------------- #
+# The Gemmini example space                                               #
+# ---------------------------------------------------------------------- #
+
+
+def point_to_config(point: dict) -> GemminiConfig:
+    """Materialise a :func:`gemmini_space` point into a validated config.
+
+    ``dim``/``tile`` define the two-level geometry (mesh = dim/tile);
+    memory axes are in KB; every other recognised key passes through.
+    Module-level (not a closure) so evaluations can cross process
+    boundaries and hash stably into the experiment result cache.
+    """
+    point = dict(point)
+    kwargs: dict[str, Any] = {}
+    if "dim" in point:
+        try:
+            kwargs.update(geometry_kwargs(point.pop("dim"), point.pop("tile", 1)))
+        except ValueError as exc:
+            raise SpaceError(str(exc)) from None
+    for kb_key, byte_key in (
+        ("sp_kb", "sp_capacity_bytes"),
+        ("acc_kb", "acc_capacity_bytes"),
+    ):
+        if kb_key in point:
+            kwargs[byte_key] = point.pop(kb_key) * 1024
+    if "dataflow" in point:
+        kwargs["dataflow"] = Dataflow[point.pop("dataflow")]
+    kwargs.update(point)
+    return GemminiConfig(**kwargs)
+
+
+def _tile_divides_dim(point: dict) -> bool:
+    return point["tile"] <= point["dim"] and point["dim"] % point["tile"] == 0
+
+
+def _memory_geometry_ok(point: dict) -> bool:
+    # Mirror GemminiConfig's bank/row divisibility so materialising a
+    # sampled point can never raise: capacities must split into banks of
+    # whole DIM-wide rows (int8 inputs, int32 accumulators).
+    dim = point["dim"]
+    sp_ok = (point["sp_kb"] * 1024) % (dim * 1 * point["sp_banks"]) == 0
+    acc_ok = (point["acc_kb"] * 1024) % (dim * 4 * point["acc_banks"]) == 0
+    return sp_ok and acc_ok
+
+
+def _accumulator_fits_tile(point: dict) -> bool:
+    # At least one DIM x DIM int32 output block must fit per accumulator bank.
+    dim = point["dim"]
+    return (point["acc_kb"] * 1024) // point["acc_banks"] >= dim * dim * 4
+
+
+def gemmini_space(max_dim: int = 32, dataflows: Sequence[str] = ("WS", "OS")) -> ParamSpace:
+    """The standard Gemmini exploration space used by the CLI and CI.
+
+    Axes: PE-grid edge, tile edge (pipelining degree), scratchpad and
+    accumulator capacities and bank counts, dataflow, and the im2col
+    block.  Constraints keep every point materialisable: the tile edge
+    divides the grid edge (square two-level geometry), memories split
+    into banks of whole rows, and a full output block fits in the
+    accumulator.
+    """
+    dims = tuple(d for d in (4, 8, 16, 32, 64) if d <= max_dim)
+    if not dims:
+        raise SpaceError(f"max_dim {max_dim} admits no PE grid")
+    tiles = tuple(t for t in (1, 2, 4, 8, 16, 32) if t <= max_dim)
+    return ParamSpace(
+        name=f"gemmini<={max_dim}x{max_dim}",
+        axes=(
+            Categorical("dim", dims),
+            Categorical("tile", tiles),
+            LogRange("sp_kb", 64, 512),
+            LogRange("acc_kb", 16, 128),
+            LogRange("sp_banks", 1, 8),
+            LogRange("acc_banks", 1, 4),
+            Categorical("dataflow", tuple(dataflows)),
+            Boolean("has_im2col"),
+        ),
+        constraints=(
+            Constraint("tile-divides-dim", _tile_divides_dim),
+            Constraint("memory-bank-geometry", _memory_geometry_ok),
+            Constraint("accumulator-fits-block", _accumulator_fits_tile),
+        ),
+    )

@@ -481,11 +481,16 @@ def run_figures(
     ]
     owns_runner = runner is None
     active = runner if runner is not None else ExperimentRunner()
+    hits0, misses0 = active.hits, active.misses
     try:
         results = active.run_specs(specs)
     finally:
         if owns_runner:
             active.close()
+    if active.cache is not None:
+        from repro.eval.runner import RunnerStats
+
+        print(f"run_figures {RunnerStats(active.hits - hits0, active.misses - misses0)}")
     return dict(zip(chosen, results))
 
 

@@ -40,6 +40,7 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentSpec",
     "ResultCache",
+    "RunnerStats",
     "config_hash",
     "default_workers",
 ]
@@ -286,6 +287,29 @@ class ResultCache:
 # ---------------------------------------------------------------------- #
 
 
+@dataclass(frozen=True)
+class RunnerStats:
+    """Cache effectiveness counters for one runner's lifetime."""
+
+    hits: int
+    misses: int
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hit{'s' if self.hits != 1 else ''} / "
+            f"{self.misses} miss{'es' if self.misses != 1 else ''} "
+            f"({self.hit_rate:.0%} hit rate)"
+        )
+
+
 def default_workers() -> int:
     """Worker count: ``REPRO_WORKERS`` if set, else the CPU count."""
     env = os.environ.get("REPRO_WORKERS", "").strip()
@@ -390,20 +414,43 @@ class ExperimentRunner:
         return results
 
     def map(
-        self, fn: Callable[[Any], Any], items: Iterable[Any], *, label: str | None = None
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        label: str | None = None,
+        labels: Sequence[Any] | None = None,
     ) -> list[Any]:
         """Parallel (cached) map of ``fn`` over ``items``.
 
         Each item is passed as the callable's single positional argument;
-        per-item cache keys include the item itself.
+        per-item cache keys include the item itself.  ``labels`` (optional,
+        one per item) replaces the positional ``[0]``, ``[1]``... suffix in
+        spec names so sweep traces read as ``dse[dim=16,tile=2]`` instead
+        of ``dse[7]``; it is display-only and never reaches the cache key.
         """
+        items = list(items)
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != len(items):
+                raise ValueError(
+                    f"labels length {len(labels)} does not match items length {len(items)}"
+                )
         base = label or getattr(fn, "__name__", "map")
         call = _ItemCall(fn)
         specs = [
-            ExperimentSpec(name=f"{base}[{i}]", fn=call, kwargs=(("item", item),))
+            ExperimentSpec(
+                name=f"{base}[{labels[i] if labels is not None else i}]",
+                fn=call,
+                kwargs=(("item", item),),
+            )
             for i, item in enumerate(items)
         ]
         return self.run_specs(specs)
+
+    def stats(self) -> RunnerStats:
+        """Hits/misses/hit-rate accumulated over this runner's lifetime."""
+        return RunnerStats(hits=self.hits, misses=self.misses)
 
 
 class _ItemCall:

@@ -136,3 +136,77 @@ class TestActivationEnum:
     def test_members(self):
         assert Activation.NONE.value == "none"
         assert Activation.RELU6.value == "relu6"
+
+
+class TestValidationMessages:
+    """Each invalid geometry is rejected at construction with a message
+    naming the offending field and value (PR 2 satellite) — invalid
+    configs must never reach the simulator."""
+
+    def test_non_positive_dimension_names_field(self):
+        with pytest.raises(ValueError, match=r"tile_rows must be >= 1, got 0"):
+            GemminiConfig(tile_rows=0, tile_cols=1)
+        with pytest.raises(ValueError, match=r"mesh_cols must be >= 1, got -2"):
+            GemminiConfig(mesh_cols=-2)
+
+    def test_non_square_grid_shows_decomposition(self):
+        with pytest.raises(ValueError, match=r"32x16.*16x8 tiles of 2x2"):
+            GemminiConfig(mesh_rows=16, mesh_cols=8, tile_rows=2, tile_cols=2)
+
+    def test_zero_capacity_rejected(self):
+        # 0 % anything == 0, so the divisibility check alone would pass.
+        with pytest.raises(ValueError, match=r"sp_capacity_bytes must be positive, got 0"):
+            GemminiConfig(sp_capacity_bytes=0)
+        with pytest.raises(ValueError, match=r"acc_capacity_bytes must be positive"):
+            GemminiConfig(acc_capacity_bytes=-1024)
+
+    def test_non_power_of_two_banks_rejected(self):
+        with pytest.raises(ValueError, match=r"sp_banks must be a positive power of two, got 3"):
+            GemminiConfig(sp_banks=3)
+        with pytest.raises(ValueError, match=r"acc_banks must be a positive power of two, got 6"):
+            GemminiConfig(acc_banks=6)
+        with pytest.raises(ValueError, match=r"acc_banks"):
+            GemminiConfig(acc_banks=0)
+
+    def test_capacity_bank_mismatch_shows_arithmetic(self):
+        with pytest.raises(ValueError, match=r"sp_capacity_bytes=1000.*16-byte rows"):
+            GemminiConfig(sp_capacity_bytes=1000)
+        with pytest.raises(ValueError, match=r"acc_capacity_bytes=65000.*64-byte rows"):
+            GemminiConfig(acc_capacity_bytes=65000)
+
+    def test_queue_depths(self):
+        with pytest.raises(ValueError, match="queue depths"):
+            GemminiConfig(rob_entries=0)
+
+    def test_valid_power_of_two_banks_accepted(self):
+        for banks in (1, 2, 4, 8):
+            assert GemminiConfig(sp_banks=banks).sp_banks == banks
+
+
+class TestIntrospectionHelpers:
+    def test_with_geometry(self):
+        cfg = default_config().with_geometry(32, tile=4)
+        assert cfg.dim == 32
+        assert (cfg.mesh_rows, cfg.tile_rows) == (8, 4)
+        assert cfg.sp_capacity_bytes == default_config().sp_capacity_bytes
+
+    def test_with_geometry_rejects_non_divisor(self):
+        with pytest.raises(ValueError, match=r"tile edge 3 must divide"):
+            default_config().with_geometry(16, tile=3)
+        with pytest.raises(ValueError, match=">= 1"):
+            default_config().with_geometry(0)
+
+    def test_to_dict_round_trips(self):
+        cfg = GemminiConfig(
+            mesh_rows=8, mesh_cols=8, dataflow=Dataflow.WS,
+            sp_capacity_bytes=128 * 1024, has_im2col=True,
+        )
+        rebuilt = config_from_dict(cfg.to_dict())
+        assert rebuilt == cfg
+
+    def test_to_dict_is_plain_json(self):
+        import json
+
+        encoded = json.dumps(default_config().to_dict())
+        assert '"dataflow": "BOTH"' in encoded
+        assert '"input_type": "int8"' in encoded

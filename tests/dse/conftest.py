@@ -1,0 +1,13 @@
+"""DSE test fixtures.
+
+Explorer-owned runners cache under :func:`repro.dse.default_cache_dir`
+(``$REPRO_CACHE_DIR`` or ``.repro-cache``); point that at a per-test tmp
+directory so tests neither write into the repo nor share state.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_dse_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dse-cache"))

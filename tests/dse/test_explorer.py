@@ -1,0 +1,149 @@
+"""Explorer: budgets, caching through ExperimentRunner, result accounting."""
+
+import pytest
+
+from repro.dse import (
+    EvaluationSpec,
+    Explorer,
+    conv_workload,
+    evaluate_design,
+    gemmini_space,
+    make_strategy,
+    model_workload,
+    parse_objectives,
+)
+from repro.dse.pareto import dominates, parse_bound
+from repro.eval.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def space():
+    return gemmini_space(max_dim=8)
+
+
+class TestEvaluateDesign:
+    def test_metrics_complete_and_positive(self, space):
+        import random
+
+        point = space.sample(random.Random(0))
+        evaluation = evaluate_design(point, EvaluationSpec())
+        for name in ("cycles", "latency_ms", "area_mm2", "power_mw", "energy_mj",
+                     "fmax_ghz", "throughput_gmacs", "edp"):
+            assert evaluation.metric(name) > 0
+        assert evaluation.point_dict == point
+
+    def test_soc_fidelity_needs_model(self):
+        with pytest.raises(ValueError, match="soc"):
+            EvaluationSpec(workload=conv_workload(), fidelity="soc")
+
+    def test_model_workload_shapes(self):
+        workload = model_workload("alexnet", input_hw=64)
+        assert workload.shapes
+        assert workload.total_macs > 0
+        assert workload.model == "alexnet"
+
+    def test_soc_fidelity_runs_full_simulation(self):
+        point = {"dim": 8, "tile": 2, "sp_kb": 128, "acc_kb": 32,
+                 "sp_banks": 2, "acc_banks": 2, "dataflow": "WS", "has_im2col": True}
+        workload = model_workload("squeezenet", input_hw=64)
+        soc = evaluate_design(point, EvaluationSpec(workload=workload, fidelity="soc"))
+        analytic = evaluate_design(point, EvaluationSpec(workload=workload))
+        # The SoC run pays DMA/TLB/cache stalls the closed-form model omits.
+        assert soc.metric("cycles") > analytic.metric("cycles")
+        assert soc.metric("energy_mj") > 0
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            EvaluationSpec(objectives=("latency_ms", "beauty"))
+
+    def test_single_objective_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            parse_objectives("latency_ms")
+
+
+class TestExplorer:
+    def test_budget_respected(self, space):
+        result = Explorer(
+            space, make_strategy("random", space, seed=0), EvaluationSpec(), budget=7
+        ).explore()
+        assert result.evaluations == 7
+
+    def test_trace_partitions_into_front_dominated_infeasible(self, space):
+        bounds = (parse_bound("area_mm2<=0.4"),)
+        result = Explorer(
+            space, make_strategy("random", space, seed=1), EvaluationSpec(),
+            budget=20, bounds=bounds,
+        ).explore()
+        assert len(result.front) + len(result.dominated) + len(result.infeasible) == 20
+        objectives = result.objectives
+        front_vectors = [e.vector(objectives) for e in result.front]
+        for e in result.dominated:
+            assert any(dominates(f, e.vector(objectives)) for f in front_vectors)
+        for e in result.infeasible:
+            assert e.metric("area_mm2") > 0.4
+
+    def test_bad_arguments_rejected(self, space):
+        with pytest.raises(ValueError, match="budget"):
+            Explorer(space, make_strategy("random", space), budget=0)
+        with pytest.raises(ValueError, match="different space"):
+            Explorer(space, make_strategy("random", gemmini_space(max_dim=16)))
+        with pytest.raises(ValueError, match="unknown metric"):
+            Explorer(
+                space, make_strategy("random", space),
+                bounds=(parse_bound("beauty<=4"),),
+            )
+
+    def test_second_run_served_from_cache(self, space, tmp_path):
+        """Acceptance: a repeated seeded search is >= 90% cache hits and
+        produces an identical Pareto front."""
+        results = []
+        for __ in range(2):
+            with ExperimentRunner(max_workers=1, cache=tmp_path / "dse") as runner:
+                explorer = Explorer(
+                    space, make_strategy("evolutionary", space, seed=0),
+                    EvaluationSpec(), budget=20, runner=runner,
+                )
+                results.append(explorer.explore())
+        first, second = results
+        assert [e.point for e in first.front] == [e.point for e in second.front]
+        assert second.cache_hit_rate() >= 0.9
+        assert second.cache_misses == 0
+
+    def test_owned_runner_caches_by_default(self, space):
+        """A plain Explorer (no runner passed) still caches: the README's
+        Python quickstart is incremental across runs, like the CLI."""
+        first = Explorer(
+            space, make_strategy("random", space, seed=4), EvaluationSpec(), budget=8
+        ).explore()
+        second = Explorer(
+            space, make_strategy("random", space, seed=4), EvaluationSpec(), budget=8
+        ).explore()
+        assert first.cache_misses == 8 and first.cache_hits == 0
+        assert second.cache_hits == 8 and second.cache_misses == 0
+
+    def test_enlarged_budget_reuses_prior_points(self, space, tmp_path):
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "dse") as runner:
+            Explorer(
+                space, make_strategy("random", space, seed=0),
+                EvaluationSpec(), budget=10, runner=runner,
+            ).explore()
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "dse") as runner:
+            bigger = Explorer(
+                space, make_strategy("random", space, seed=0),
+                EvaluationSpec(), budget=15, runner=runner,
+            ).explore()
+        assert bigger.cache_hits == 10
+        assert bigger.cache_misses == 5
+
+    def test_parallel_workers_match_serial(self, space):
+        serial = Explorer(
+            space, make_strategy("random", space, seed=2), EvaluationSpec(), budget=10,
+            runner=ExperimentRunner(max_workers=1),
+        ).explore()
+        with ExperimentRunner(max_workers=2) as runner:
+            parallel = Explorer(
+                space, make_strategy("random", space, seed=2), EvaluationSpec(),
+                budget=10, runner=runner,
+            ).explore()
+        assert [e.point for e in serial.trace] == [e.point for e in parallel.trace]
+        assert serial.hypervolume == parallel.hypervolume

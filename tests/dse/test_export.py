@@ -1,0 +1,66 @@
+"""Export formats: JSON, CSV, front table."""
+
+import csv
+import json
+
+import pytest
+
+from repro.dse import (
+    EvaluationSpec,
+    Explorer,
+    export_csv,
+    export_json,
+    front_table,
+    gemmini_space,
+    make_strategy,
+    result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    space = gemmini_space(max_dim=8)
+    return Explorer(
+        space, make_strategy("random", space, seed=0), EvaluationSpec(), budget=12
+    ).explore()
+
+
+class TestJson:
+    def test_round_trips_and_is_complete(self, result, tmp_path):
+        path = export_json(result, tmp_path / "out" / "dse.json")
+        data = json.loads(path.read_text())
+        assert data["meta"]["strategy"] == "random"
+        assert data["meta"]["budget"] == 12
+        assert data["meta"]["evaluations"] == 12
+        assert data["meta"]["objectives"] == ["latency_ms", "area_mm2", "power_mw"]
+        assert len(data["trace"]) == 12
+        assert len(data["front"]) == len(result.front)
+        assert data["hypervolume"] == result.hypervolume
+        assert all(row["on_front"] for row in data["front"])
+        front_rows = [row for row in data["trace"] if row["on_front"]]
+        assert len(front_rows) == len(result.front)
+
+    def test_dict_is_json_serialisable(self, result):
+        json.dumps(result_to_dict(result))
+
+
+class TestCsv:
+    def test_one_row_per_point(self, result, tmp_path):
+        path = export_csv(result, tmp_path / "dse.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 12
+        assert {"dim", "tile", "latency_ms", "area_mm2", "on_front"} <= set(rows[0])
+        assert sum(row["on_front"] == "True" for row in rows) == len(result.front)
+
+
+class TestFrontTable:
+    def test_mentions_objectives_and_strategy(self, result):
+        text = front_table(result)
+        assert "latency_ms" in text and "area_mm2" in text and "power_mw" in text
+        assert "random" in text
+        assert "budget 12" in text
+
+    def test_extra_metrics_appended(self, result):
+        text = front_table(result, extra_metrics=("fmax_ghz",))
+        assert "fmax_ghz" in text

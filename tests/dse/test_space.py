@@ -1,0 +1,166 @@
+"""ParamSpace: axes, constraints, sampling, neighbours, enumeration."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dse.space import (
+    Boolean,
+    Categorical,
+    Constraint,
+    LogRange,
+    ParamSpace,
+    SpaceError,
+    gemmini_space,
+    point_key,
+    point_label,
+    point_to_config,
+)
+
+
+class TestAxes:
+    def test_categorical_ordered_steps(self):
+        axis = Categorical("dim", (4, 8, 16, 32))
+        assert axis.steps(4) == [8]
+        assert axis.steps(16) == [8, 32]
+        assert axis.steps(32) == [16]
+
+    def test_boolean(self):
+        axis = Boolean("flag")
+        assert axis.choices == (False, True)
+        assert axis.steps(False) == [True]
+
+    def test_log_range_inclusive(self):
+        assert LogRange("kb", 64, 512).choices == (64, 128, 256, 512)
+        assert LogRange("b", 1, 8).choices == (1, 2, 4, 8)
+
+    def test_bad_axes_rejected(self):
+        with pytest.raises(SpaceError):
+            Categorical("x", ())
+        with pytest.raises(SpaceError):
+            Categorical("x", (1, 1))
+        with pytest.raises(SpaceError):
+            LogRange("x", 8, 4)
+
+    def test_unknown_value_names_axis(self):
+        with pytest.raises(SpaceError, match="dim"):
+            Categorical("dim", (4, 8)).index(5)
+
+
+@pytest.fixture
+def small_space() -> ParamSpace:
+    return ParamSpace(
+        axes=(
+            Categorical("dim", (4, 8, 16)),
+            Categorical("tile", (1, 2, 4)),
+            Boolean("flag"),
+        ),
+        constraints=(
+            Constraint("tile-divides-dim", lambda p: p["dim"] % p["tile"] == 0),
+        ),
+    )
+
+
+class TestParamSpace:
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SpaceError):
+            ParamSpace(axes=(Boolean("a"), Boolean("a")))
+
+    def test_size_counts_only_valid(self, small_space):
+        # every tile in (1, 2, 4) divides every dim in (4, 8, 16)
+        assert small_space.cartesian_size == 18
+        assert small_space.size() == 18
+
+    def test_size_excludes_constraint_violations(self):
+        space = ParamSpace(
+            axes=(Categorical("dim", (4, 8)), Categorical("tile", (1, 8))),
+            constraints=(Constraint("divides", lambda p: p["dim"] % p["tile"] == 0),),
+        )
+        assert space.cartesian_size == 4
+        assert space.size() == 3  # (4, 8) is invalid
+
+    def test_estimate_size_tracks_exact(self):
+        space = gemmini_space(max_dim=8)
+        exact = space.size()
+        estimate = space.estimate_size(random.Random(0), samples=4000)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_enumeration_is_deterministic_and_valid(self, small_space):
+        first = list(small_space.points())
+        second = list(small_space.points())
+        assert first == second
+        assert all(small_space.is_valid(p) for p in first)
+
+    def test_neighbors_differ_in_one_axis(self, small_space):
+        point = {"dim": 8, "tile": 2, "flag": False}
+        for neighbor in small_space.neighbors(point):
+            assert small_space.is_valid(neighbor)
+            changed = [k for k in point if point[k] != neighbor[k]]
+            assert len(changed) == 1
+
+    def test_check_names_violated_constraint(self):
+        space = ParamSpace(
+            axes=(Categorical("dim", (4, 8)), Categorical("tile", (1, 8))),
+            constraints=(Constraint("tile-divides-dim", lambda p: p["dim"] % p["tile"] == 0),),
+        )
+        with pytest.raises(SpaceError, match="tile-divides-dim"):
+            space.check({"dim": 4, "tile": 8})
+        with pytest.raises(SpaceError, match="mismatch"):
+            space.check({"dim": 4})
+
+    def test_unsatisfiable_constraints_raise(self):
+        space = ParamSpace(
+            axes=(Boolean("a"),),
+            constraints=(Constraint("never", lambda p: False),),
+        )
+        with pytest.raises(SpaceError, match="never"):
+            space.sample(random.Random(0))
+
+
+class TestPointHelpers:
+    def test_point_key_order_insensitive(self):
+        assert point_key({"a": 1, "b": 2}) == point_key({"b": 2, "a": 1})
+
+    def test_point_label_stable(self):
+        assert point_label({"dim": 8, "has_im2col": True}) == "dim=8,has_im2col=y"
+
+
+class TestGemminiSpace:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_sample_never_violates_constraints(self, seed):
+        """Property (satellite): sampling cannot produce an invalid point,
+        and every sampled point materialises into a valid config."""
+        space = gemmini_space(max_dim=32)
+        point = space.sample(random.Random(seed))
+        assert space.is_valid(point)
+        space.check(point)  # must not raise
+        config = point_to_config(point)
+        assert config.dim == point["dim"]
+        assert config.tile_rows == point["tile"]
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_neighbors_of_samples_stay_valid(self, seed):
+        space = gemmini_space(max_dim=16)
+        point = space.sample(random.Random(seed))
+        for neighbor in space.neighbors(point):
+            assert space.is_valid(neighbor)
+            point_to_config(neighbor)  # must not raise
+
+    def test_every_enumerated_point_materialises(self):
+        space = gemmini_space(max_dim=8)
+        count = 0
+        for point in space.points():
+            point_to_config(point)
+            count += 1
+        assert count == space.size()
+
+    def test_max_dim_respected(self):
+        assert max(gemmini_space(max_dim=8).axis("dim").choices) == 8
+        with pytest.raises(SpaceError):
+            gemmini_space(max_dim=2)
+
+    def test_point_to_config_rejects_bad_tile(self):
+        with pytest.raises(SpaceError, match="divide"):
+            point_to_config({"dim": 8, "tile": 3})

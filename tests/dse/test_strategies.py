@@ -1,0 +1,118 @@
+"""Search strategies: determinism, budget discipline, front quality."""
+
+import pytest
+
+from repro.dse import (
+    EvaluationSpec,
+    Explorer,
+    gemmini_space,
+    make_strategy,
+    shared_hypervolume,
+)
+from repro.dse.space import point_key
+from repro.dse.strategies import STRATEGIES
+
+
+@pytest.fixture(scope="module")
+def space():
+    return gemmini_space(max_dim=8)
+
+
+def explore(space, name, seed=0, budget=20, **kwargs):
+    strategy = make_strategy(name, space, seed=seed)
+    return Explorer(space, strategy, EvaluationSpec(), budget=budget, **kwargs).explore()
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert set(STRATEGIES) == {"grid", "random", "evolutionary", "annealing"}
+
+    def test_unknown_rejected(self, space):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("bayesian", space)
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+class TestEveryStrategy:
+    def test_runs_through_one_explorer_api(self, space, name):
+        result = explore(space, name, budget=15)
+        assert 0 < result.evaluations <= 15
+        assert result.front
+        assert result.strategy == name
+
+    def test_same_seed_identical_trace(self, space, name):
+        """Property (satellite): a seed fully determines the trace."""
+        a = explore(space, name, seed=3, budget=15)
+        b = explore(space, name, seed=3, budget=15)
+        assert [e.point for e in a.trace] == [e.point for e in b.trace]
+        assert [e.point for e in a.front] == [e.point for e in b.front]
+        assert a.hypervolume == b.hypervolume
+
+    def test_different_seeds_diverge(self, space, name):
+        if name == "grid":
+            pytest.skip("grid enumeration ignores the seed by design")
+        a = explore(space, name, seed=0, budget=15)
+        b = explore(space, name, seed=1, budget=15)
+        assert [e.point for e in a.trace] != [e.point for e in b.trace]
+
+    def test_never_proposes_duplicates(self, space, name):
+        result = explore(space, name, budget=25)
+        keys = [point_key(e.point_dict) for e in result.trace]
+        assert len(keys) == len(set(keys))
+
+    def test_every_proposal_is_valid(self, space, name):
+        result = explore(space, name, budget=25)
+        for e in result.trace:
+            assert space.is_valid(e.point_dict)
+
+
+class TestGrid:
+    def test_exhausts_small_space_under_budget(self):
+        from repro.dse.space import Boolean, Categorical, ParamSpace
+
+        tiny = ParamSpace(axes=(Categorical("dim", (4, 8)), Boolean("has_im2col")))
+        strategy = make_strategy("grid", tiny)
+        result = Explorer(tiny, strategy, EvaluationSpec(), budget=100).explore()
+        assert result.evaluations == 4  # stops when the grid runs out
+
+
+class TestEvolutionary:
+    def test_beats_random_hypervolume_at_equal_budget(self):
+        """Acceptance: adaptive search >= uniform sampling, same budget,
+        same seed, shared hypervolume reference."""
+        space = gemmini_space(max_dim=32)
+        evo = explore(space, "evolutionary", seed=0, budget=50)
+        rnd = explore(space, "random", seed=0, budget=50)
+        hv_evo, hv_rnd = shared_hypervolume([evo, rnd])
+        assert hv_evo >= hv_rnd
+        assert evo.hypervolume >= rnd.hypervolume  # fixed-anchor reference too
+
+    def test_respects_feasibility_bounds(self):
+        from repro.dse.pareto import parse_bound
+
+        space = gemmini_space(max_dim=32)
+        strategy = make_strategy("evolutionary", space, seed=0)
+        result = Explorer(
+            space,
+            strategy,
+            EvaluationSpec(),
+            budget=30,
+            bounds=(parse_bound("area_mm2<=0.5"), parse_bound("fmax_ghz>=1")),
+        ).explore()
+        assert result.front, "constrained search found no feasible designs"
+        for e in result.front:
+            assert e.metric("area_mm2") <= 0.5
+            assert e.metric("fmax_ghz") >= 1.0
+
+
+class TestAnnealing:
+    def test_strictly_sequential(self, space):
+        strategy = make_strategy("annealing", space, seed=0)
+        assert strategy.batch_size == 1
+
+    def test_temperature_decays(self, space):
+        strategy = make_strategy("annealing", space, seed=0)
+        strategy.bind((), 100)
+        t_start = strategy._temperature()
+        strategy._steps = 99
+        assert strategy._temperature() < t_start

@@ -370,3 +370,61 @@ class TestRunFigures:
         ]
         for name, fn in experiments.EXPERIMENTS.items():
             assert callable(fn), name
+
+
+class TestMapLabels:
+    def test_labels_reach_spec_names(self):
+        """Regression (PR 2): map lost per-item identity (map[0], map[1]...);
+        labels= names each point."""
+        labels = ["dim=4", "dim=8", "dim=16"]
+        base = "sweep"
+        call_specs = [
+            ExperimentSpec(name=f"{base}[{labels[i]}]", fn=square, kwargs=(("x", x),))
+            for i, x in enumerate([4, 8, 16])
+        ]
+        assert [s.name for s in call_specs] == ["sweep[dim=4]", "sweep[dim=8]", "sweep[dim=16]"]
+
+    def test_map_accepts_labels(self):
+        with ExperimentRunner(max_workers=1) as runner:
+            assert runner.map(square, [2, 3], label="s", labels=["a", "b"]) == [4, 9]
+
+    def test_labels_length_mismatch_rejected(self):
+        with ExperimentRunner(max_workers=1) as runner:
+            with pytest.raises(ValueError, match="labels length"):
+                runner.map(square, [1, 2, 3], labels=["only-one"])
+
+    def test_labels_do_not_affect_cache_keys(self, tmp_path):
+        """Labels are display-only: a relabelled sweep still hits the cache."""
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as first:
+            first.map(square, [5, 6], labels=["p", "q"])
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as second:
+            assert second.map(square, [5, 6], labels=["x", "y"]) == [25, 36]
+            assert second.hits == 2 and second.misses == 0
+
+
+class TestRunnerStats:
+    def test_counts_and_rate(self, tmp_path):
+        from repro.eval.runner import RunnerStats
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as runner:
+            runner.map(square, [1, 2, 3, 4])
+            runner.map(square, [1, 2, 3, 4, 5])
+            stats = runner.stats()
+        assert stats == RunnerStats(hits=4, misses=5)
+        assert stats.total == 9
+        assert stats.hit_rate == pytest.approx(4 / 9)
+        assert "4 hits" in str(stats)
+        assert "44% hit rate" in str(stats)
+
+    def test_empty_runner_zero_rate(self):
+        runner = ExperimentRunner(max_workers=1)
+        assert runner.stats().hit_rate == 0.0
+
+    def test_run_figures_prints_cache_stats(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(experiments.EXPERIMENTS, "figX", fake_fig)
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as runner:
+            experiments.run_figures(names=["figX"], runner=runner)
+            experiments.run_figures(names=["figX"], runner=runner)
+        out = capsys.readouterr().out
+        assert "run_figures cache: 0 hits / 1 miss (0% hit rate)" in out
+        assert "run_figures cache: 1 hit / 0 misses (100% hit rate)" in out

@@ -78,3 +78,52 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestDse:
+    def test_prints_front_and_cache_stats(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert main([
+            "dse", "--strategy", "random", "--budget", "10", "--seed", "0",
+            "--max-dim", "8", "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "latency_ms" in out
+        assert "hit rate" in out
+
+    def test_exports_and_reruns_from_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        args = [
+            "dse", "--strategy", "evolutionary", "--budget", "12", "--seed", "0",
+            "--max-dim", "8", "--cache-dir", str(tmp_path / "cache"),
+            "--export-json", str(tmp_path / "front.json"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "12 misses" in first
+        assert "12 hits / 0 misses (100% hit rate)" in second
+        import json
+
+        data = json.loads((tmp_path / "front.json").read_text())
+        assert data["front"] and data["meta"]["strategy"] == "evolutionary"
+
+    def test_constraint_and_objectives_flags(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert main([
+            "dse", "--strategy", "grid", "--budget", "15", "--max-dim", "8",
+            "--objectives", "energy_mj,area_mm2",
+            "--constraint", "area_mm2<=2",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "energy_mj" in out
+
+    def test_bad_constraint_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="bad bound"):
+            main([
+                "dse", "--budget", "5", "--constraint", "area_mm2=4",
+                "--cache-dir", str(tmp_path),
+            ])
