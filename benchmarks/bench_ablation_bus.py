@@ -29,7 +29,7 @@ def bench_point(width: int) -> tuple:
 
 
 def test_ablation_dma_bus_width(benchmark, emit, runner):
-    rows = once(benchmark, lambda: runner.map(bench_point, WIDTHS, label="ablation_bus"))
+    rows = once(benchmark, lambda: runner.map(bench_point, WIDTHS, label="ablation_bus"), runner=runner)
     text = format_table(
         ["bus (B/cycle)", "resadd 1M elems (cycles)", "matmul 512^3 (cycles)"],
         [(w, f"{r:.0f}", f"{m:.0f}") for w, r, m in rows],

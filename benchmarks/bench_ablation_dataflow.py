@@ -33,7 +33,7 @@ def dataflow_rows() -> list[tuple]:
 
 
 def test_ablation_dataflow(benchmark, emit, runner):
-    rows = once(benchmark, lambda: runner.run(dataflow_rows))
+    rows = once(benchmark, lambda: runner.run(dataflow_rows), runner=runner)
     text = format_table(
         ["shape (MxKxN)", "WS cycles", "OS cycles", "OS/WS"],
         rows,

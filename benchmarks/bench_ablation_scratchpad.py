@@ -34,7 +34,7 @@ def bench_point(kb: int) -> tuple:
 
 def test_ablation_scratchpad_capacity(benchmark, emit, runner):
     rows = once(
-        benchmark, lambda: runner.map(bench_point, CAPACITIES_KB, label="ablation_sp")
+        benchmark, lambda: runner.map(bench_point, CAPACITIES_KB, label="ablation_sp"), runner=runner
     )
     base = rows[0][1]
     text = format_table(

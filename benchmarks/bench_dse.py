@@ -32,7 +32,7 @@ def _explore(runner):
 
 
 def test_dse_random_vs_evolutionary(benchmark, emit, runner):
-    results = once(benchmark, lambda: _explore(runner))
+    results = once(benchmark, lambda: _explore(runner), runner=runner)
 
     evo, rnd = results["evolutionary"], results["random"]
     hv_rnd, hv_evo = shared_hypervolume([rnd, evo])

@@ -12,7 +12,7 @@ from repro.eval.report import format_table
 
 
 def test_fig3_spatial_array_tradeoffs(benchmark, emit, runner):
-    result = once(benchmark, lambda: runner.run(run_fig3))
+    result = once(benchmark, lambda: runner.run(run_fig3), runner=runner)
 
     rows = [
         (r.name, r.tile_shape, r.frequency_ghz, r.area_kum2, r.power_mw)

@@ -10,7 +10,7 @@ from repro.eval.report import format_series
 
 
 def test_fig4_tlb_miss_trace(benchmark, emit, runner):
-    result = once(benchmark, lambda: runner.run(run_fig4, input_hw=INPUT_HW))
+    result = once(benchmark, lambda: runner.run(run_fig4, input_hw=INPUT_HW), runner=runner)
 
     text = format_series("private TLB miss rate over ResNet50", result.trace)
     text += (

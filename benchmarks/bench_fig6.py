@@ -12,7 +12,7 @@ from repro.eval.report import format_table
 
 
 def test_fig6_area_breakdown(benchmark, emit, runner):
-    result = once(benchmark, lambda: runner.run(run_fig6))
+    result = once(benchmark, lambda: runner.run(run_fig6), runner=runner)
     breakdown = result.breakdown
 
     rows = []

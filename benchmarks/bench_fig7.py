@@ -15,6 +15,7 @@ def test_fig7_speedups(benchmark, emit, runner):
     result = once(
         benchmark,
         lambda: runner.run(run_fig7, input_hw=INPUT_HW, seq=BERT_SEQ, host_sweep=True),
+        runner=runner,
     )
 
     rows = []

@@ -25,6 +25,7 @@ def test_fig8_tlb_sweep(benchmark, emit, runner):
             filters=(False, True),
             input_hw=INPUT_HW,
         ),
+        runner=runner,
     )
 
     rows = []

@@ -13,7 +13,7 @@ from repro.eval.report import format_table
 
 
 def test_fig9_memory_partitioning(benchmark, emit, runner):
-    result = once(benchmark, lambda: runner.run(run_fig9, input_hw=INPUT_HW))
+    result = once(benchmark, lambda: runner.run(run_fig9, input_hw=INPUT_HW), runner=runner)
 
     rows = []
     for run in result.runs:

@@ -1,0 +1,82 @@
+"""Serving smoke: two Poisson tenants on a two-tile SoC, FCFS vs SJF.
+
+Routes each scheduler's simulation through the session
+:class:`~repro.eval.runner.ExperimentRunner` (so re-runs hit the result
+cache) and checks the invariants the subsystem guarantees: every request
+served, non-zero tail latency and goodput, and a deterministic request log
+under a fixed seed.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import once
+from repro.eval.report import format_table
+from repro.serve import TenantSpec, TrafficProfile, simulate_serving
+
+PROFILE = TrafficProfile(
+    tenants=(
+        TenantSpec(
+            name="cnn-lo",
+            model="squeezenet",
+            arrival="poisson",
+            rate_qps=120.0,
+            num_requests=8,
+            input_hw=32,
+            slo_ms=2.0,
+        ),
+        TenantSpec(
+            name="cnn-hi",
+            model="squeezenet",
+            arrival="bursty",
+            rate_qps=240.0,
+            num_requests=8,
+            input_hw=32,
+            priority=1,
+            slo_ms=2.0,
+            burst_on_ms=2.0,
+            burst_off_ms=2.0,
+        ),
+    ),
+    num_tiles=2,
+    seed=0,
+)
+
+
+def _serve_all(runner):
+    results = {}
+    for name in ("fcfs", "sjf"):
+        profile = replace(PROFILE, scheduler=name)
+        results[name] = runner.run(simulate_serving, label=f"serve_{name}", profile=profile)
+    return results
+
+
+def test_serve_two_tenants(benchmark, emit, runner):
+    results = once(benchmark, lambda: _serve_all(runner), runner=runner)
+
+    rows = []
+    for name, result in results.items():
+        overall = result.report.overall
+        rows.append(
+            (
+                name,
+                str(overall.completed),
+                f"{overall.p50_ms:.3f}",
+                f"{overall.p99_ms:.3f}",
+                f"{overall.goodput_qps:.1f}",
+                f"{overall.slo_violation_rate:.1%}",
+                f"{result.report.fairness:.3f}",
+            )
+        )
+    text = format_table(
+        ["scheduler", "done", "p50 ms", "p99 ms", "goodput", "SLO viol", "fairness"],
+        rows,
+        title="two-tenant serving, 2 tiles, Poisson + bursty squeezenet@32",
+    )
+    text += f"\n{runner.stats()}"
+    emit("serve_two_tenants", text)
+
+    for name, result in results.items():
+        overall = result.report.overall
+        assert result.completed == PROFILE.total_requests, f"{name}: dropped requests"
+        assert overall.p99_ms > 0, f"{name}: zero p99 latency"
+        assert overall.throughput_qps > 0, f"{name}: zero throughput"

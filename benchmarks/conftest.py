@@ -64,6 +64,16 @@ def emit(results_dir):
     return _emit
 
 
-def once(benchmark, fn):
-    """Run a whole-experiment benchmark exactly once."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+def once(benchmark, fn, runner=None):
+    """Run a whole-experiment benchmark exactly once.
+
+    When the experiment routes through an :class:`ExperimentRunner`, pass it
+    so the BENCH JSON carries this benchmark's own cache hit/miss counters
+    (the runner is session-scoped; stats are reset per phase).
+    """
+    if runner is not None:
+        runner.reset_stats()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    if runner is not None:
+        benchmark.extra_info["runner_cache"] = runner.stats().to_dict()
+    return result

@@ -1,0 +1,122 @@
+"""Two-tenant interference study, in the spirit of the paper's Fig. 9c.
+
+The paper's dual-controller experiment runs two ResNet50s to completion and
+watches the shared L2/DRAM slow both down.  Here the same SoC machinery is
+driven by *traffic*: each tenant is a Poisson request stream pinned to its
+own tile, so any latency inflation in the co-located run comes purely from
+shared-memory contention (no cross-tenant queueing); an L2-capacity sweep
+then shows how much of the tail a bigger cache can buy back.
+
+Run:  PYTHONPATH=src python examples/serving_study.py
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro.core.config import default_config
+from repro.eval.report import format_table
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import MemorySystemConfig
+from repro.serve import TenantSpec, TrafficProfile, simulate_serving
+
+SEED = 0
+RATE_QPS = 150.0
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--input-hw", type=int, default=64, help="CNN input resolution")
+parser.add_argument("--requests", type=int, default=8, help="requests per tenant")
+ARGS = parser.parse_args()
+REQUESTS = ARGS.requests
+INPUT_HW = ARGS.input_hw
+
+TENANT_A = TenantSpec(
+    name="teamA",
+    model="squeezenet",
+    arrival="poisson",
+    rate_qps=RATE_QPS,
+    num_requests=REQUESTS,
+    input_hw=INPUT_HW,
+    slo_ms=15.0,
+    pin_tile=0,
+)
+TENANT_B = TenantSpec(
+    name="teamB",
+    model="mobilenetv2",
+    arrival="poisson",
+    rate_qps=RATE_QPS,
+    num_requests=REQUESTS,
+    input_hw=INPUT_HW,
+    slo_ms=15.0,
+    pin_tile=1,
+)
+
+L2_CONFIGS = {
+    "Base (1 MB L2)": MemorySystemConfig(l2=CacheConfig(size_bytes=1 << 20, ways=8)),
+    "BigL2 (2 MB L2)": MemorySystemConfig(l2=CacheConfig(size_bytes=2 << 20, ways=8)),
+}
+
+
+def isolated_p99(tenant: TenantSpec, mem: MemorySystemConfig) -> float:
+    """One tenant alone on a single-tile SoC: no contention, no cross-queueing."""
+    profile = TrafficProfile(
+        tenants=(replace(tenant, pin_tile=0),), num_tiles=1, seed=SEED
+    )
+    result = simulate_serving(profile, gemmini=default_config(), mem=mem)
+    return result.report.tenant(tenant.name).p99_ms
+
+
+def main() -> None:
+    rows = []
+    for mem_name, mem in L2_CONFIGS.items():
+        iso_a = isolated_p99(TENANT_A, mem)
+        iso_b = isolated_p99(TENANT_B, mem)
+        co = simulate_serving(
+            TrafficProfile(tenants=(TENANT_A, TENANT_B), num_tiles=2, seed=SEED),
+            gemmini=default_config(),
+            mem=mem,
+        )
+        co_a = co.report.tenant(TENANT_A.name).p99_ms
+        co_b = co.report.tenant(TENANT_B.name).p99_ms
+        rows.append(
+            (
+                mem_name,
+                f"{iso_a:.2f}",
+                f"{co_a:.2f}",
+                f"{co_a / iso_a:.2f}x",
+                f"{iso_b:.2f}",
+                f"{co_b:.2f}",
+                f"{co_b / iso_b:.2f}x",
+                f"{co.l2_miss_rate:.1%}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "memory system",
+                "A alone p99",
+                "A co-loc p99",
+                "A inflation",
+                "B alone p99",
+                "B co-loc p99",
+                "B inflation",
+                "L2 miss",
+            ],
+            rows,
+            title=(
+                f"tail-latency interference: pinned tenants, Poisson {RATE_QPS:.0f} QPS "
+                f"each, seed {SEED} (latencies in ms)"
+            ),
+        )
+    )
+    print(
+        "\nEach tenant owns a tile, so its queue never mixes with the other's —\n"
+        "the p99 inflation above is pure shared-L2/DRAM contention (the Fig. 9c\n"
+        "mechanism, traffic-driven).  The L2 sweep shows how much of the tail a\n"
+        "bigger cache buys back at this working-set size: watch the miss rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

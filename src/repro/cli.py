@@ -16,6 +16,13 @@ Exposes the common workflows without writing Python:
 ``gemmini-repro dse``
     Search the design space: pick a strategy, budget, objectives,
     constraints and workload; print the Pareto front and export it.
+``gemmini-repro serve``
+    Drive a multi-tile SoC with multi-tenant traffic and report SLO
+    metrics (tail latency, goodput, fairness, violation rates).
+
+Every stochastic subcommand (``run``/``dse``/``serve``) takes one
+``--seed`` and prints the effective seed, so any output can be reproduced
+from the command line alone.
 """
 
 from __future__ import annotations
@@ -88,6 +95,7 @@ def cmd_run(args) -> int:
 
     print(f"model: {args.model} ({graph.total_macs() / 1e9:.2f} GMACs)")
     print(f"config: {config.describe()}")
+    print(f"seed: {args.seed}")
     print(
         f"cycles: {result.total_cycles / 1e6:.2f}M -> "
         f"{result.fps(config.clock_ghz):.2f} inf/s at {config.clock_ghz} GHz"
@@ -141,6 +149,41 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def _traffic_from_args(args, parser_error) -> "TrafficProfile | None":
+    """Build the optional DSE traffic profile from repeated --traffic specs."""
+    from repro.dse import SERVING_METRICS
+    from repro.serve import TrafficProfile, parse_tenant
+
+    objectives = [n.strip() for n in args.objectives.split(",") if n.strip()]
+    serving = [n for n in objectives if n in SERVING_METRICS]
+    if not args.traffic:
+        if serving:
+            parser_error(
+                f"objectives {serving} need a traffic profile; add at least one "
+                "--traffic model=NAME,qps=...,requests=..."
+            )
+        return None
+    if not serving:
+        # A serving simulation per design point is expensive; don't pay for
+        # metrics no objective (or constraint) will ever read.
+        print(
+            "note: --traffic ignored — no serving objective among "
+            f"{objectives} (add e.g. p99_latency_ms or qps_per_watt)"
+        )
+        return None
+    tenants = tuple(
+        parse_tenant(text, default_name=f"tenant{i}") for i, text in enumerate(args.traffic)
+    )
+    return TrafficProfile(
+        tenants=tenants,
+        num_tiles=args.serve_tiles,
+        scheduler=args.serve_scheduler,
+        seed=args.seed,
+        batch_size=args.serve_batch_size,
+        batch_window_ms=args.serve_batch_window_ms,
+    )
+
+
 def cmd_dse(args) -> int:
     from repro.dse import (
         EvaluationSpec,
@@ -165,6 +208,7 @@ def cmd_dse(args) -> int:
         workload=workload,
         objectives=tuple(n.strip() for n in args.objectives.split(",") if n.strip()),
         fidelity=args.fidelity,
+        traffic=_traffic_from_args(args, args.parser.error),
     )
     space = gemmini_space(max_dim=args.max_dim)
     strategy = make_strategy(args.strategy, space, seed=args.seed)
@@ -184,12 +228,66 @@ def cmd_dse(args) -> int:
         f"({len(result.front)} on the front, {len(result.dominated)} dominated, "
         f"{len(result.infeasible)} infeasible), hypervolume {result.hypervolume:.6g}"
     )
+    print(f"seed: {args.seed}")
     print(f"dse {stats}")
     if args.export_json:
         print(f"wrote {export_json(result, args.export_json)}")
     if args.export_csv:
         print(f"wrote {export_csv(result, args.export_csv)}")
     return 0 if result.front else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import (
+        TrafficProfile,
+        export_serve_csv,
+        export_serve_json,
+        load_trace_profile,
+        parse_tenant,
+        serve_table,
+        simulate_serving,
+    )
+
+    config = _config_from_args(args)
+    profile_kwargs = dict(
+        num_tiles=args.tiles,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        horizon_ms=args.horizon_ms,
+        batch_size=args.batch_size,
+        batch_window_ms=args.batch_window_ms,
+    )
+    if args.trace:
+        profile = load_trace_profile(args.trace, **profile_kwargs)
+    else:
+        if not args.tenant:
+            args.parser.error("serve needs at least one --tenant (or --trace FILE)")
+        tenants = tuple(
+            parse_tenant(text, default_name=f"tenant{i}") for i, text in enumerate(args.tenant)
+        )
+        profile = TrafficProfile(tenants=tenants, **profile_kwargs)
+
+    result = simulate_serving(profile, gemmini=config)
+
+    print(f"seed: {profile.seed}")
+    print(f"config: {config.describe()}")
+    print(serve_table(result))
+    report = result.report
+    print(
+        f"overall: p99 {report.overall.p99_ms:.2f} ms, "
+        f"goodput {report.overall.goodput_qps:.1f} QPS, "
+        f"fairness {report.fairness:.3f}, "
+        f"{result.completed}/{result.issued} served"
+    )
+    print(
+        f"memory: L2 miss {result.l2_miss_rate:.1%}, "
+        f"DRAM {result.dram_bytes / 1e6:.1f} MB over {report.makespan_ms:.1f} ms"
+    )
+    if args.export_json:
+        print(f"wrote {export_serve_json(result, args.export_json)}")
+    if args.export_csv:
+        print(f"wrote {export_serve_csv(result, args.export_csv)}")
+    return 0 if result.completed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--baseline", action="store_true", help="also compute the CPU-only baseline"
     )
+    p_run.add_argument("--seed", type=int, default=0, help="reproducibility seed (echoed)")
     p_run.set_defaults(func=cmd_run)
 
     p_area = sub.add_parser("area", help="area breakdown (Figure 6 style)")
@@ -269,7 +368,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dse.add_argument("--export-json", default=None, help="write trace + front JSON here")
     p_dse.add_argument("--export-csv", default=None, help="write per-point CSV here")
-    p_dse.set_defaults(func=cmd_dse)
+    p_dse.add_argument(
+        "--traffic",
+        action="append",
+        default=[],
+        metavar="TENANT",
+        help="serving tenant spec for the serving objectives, e.g. "
+        "model=squeezenet,qps=100,requests=8,slo_ms=20 (repeatable)",
+    )
+    p_dse.add_argument(
+        "--serve-tiles", type=int, default=1, help="SoC tiles in the serving cluster"
+    )
+    p_dse.add_argument(
+        "--serve-scheduler",
+        choices=("fcfs", "priority", "sjf", "rr", "batch"),
+        default="fcfs",
+        help="dispatch policy used when scoring serving objectives",
+    )
+    p_dse.add_argument(
+        "--serve-batch-size", type=int, default=4, help="batch scheduler: batch size"
+    )
+    p_dse.add_argument(
+        "--serve-batch-window-ms",
+        type=float,
+        default=1.0,
+        help="batch scheduler: max hold time (wall-clock ms at each design's clock)",
+    )
+    p_dse.set_defaults(func=cmd_dse, parser=p_dse)
+
+    p_serve = sub.add_parser(
+        "serve", help="multi-tenant serving simulation with SLO metrics"
+    )
+    _add_config_args(p_serve)
+    p_serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="key=value tenant spec, e.g. model=resnet50,qps=40,requests=16,"
+        "arrival=poisson,priority=1,slo_ms=50,input_hw=224 (repeatable); "
+        "arrival kinds: poisson | bursty | closed (trace replay via --trace FILE)",
+    )
+    p_serve.add_argument("--trace", default=None, help="JSON request trace to replay")
+    p_serve.add_argument("--tiles", type=int, default=1, help="SoC tiles in the cluster")
+    p_serve.add_argument(
+        "--scheduler",
+        choices=("fcfs", "priority", "sjf", "rr", "batch"),
+        default="fcfs",
+        help="dispatch policy",
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="traffic RNG seed")
+    p_serve.add_argument(
+        "--horizon-ms", type=float, default=None, help="stop issuing work at this time"
+    )
+    p_serve.add_argument("--batch-size", type=int, default=4, help="batch scheduler: batch size")
+    p_serve.add_argument(
+        "--batch-window-ms", type=float, default=1.0, help="batch scheduler: max hold time"
+    )
+    p_serve.add_argument("--export-json", default=None, help="write the SLO report JSON here")
+    p_serve.add_argument("--export-csv", default=None, help="write per-request CSV here")
+    p_serve.set_defaults(func=cmd_serve, parser=p_serve)
 
     return parser
 

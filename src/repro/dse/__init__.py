@@ -20,6 +20,7 @@ from repro.dse.engine import (
 from repro.dse.export import export_csv, export_json, front_table, result_to_dict
 from repro.dse.objectives import (
     OBJECTIVES,
+    SERVING_METRICS,
     Evaluation,
     EvaluationSpec,
     Objective,

@@ -53,6 +53,10 @@ METRIC_REFERENCE: dict[str, float] = {
     "fmax_ghz": 0.0,
     "throughput_gmacs": 0.0,
     "edp": 1e6,
+    "p99_latency_ms": 1e4,
+    "goodput_qps": 0.0,
+    "qps_per_watt": 0.0,
+    "slo_violation_rate": 1.0,
 }
 
 

@@ -45,6 +45,17 @@ def result_to_dict(result: ExplorationResult) -> dict:
             "fidelity": result.spec.fidelity,
             "objectives": list(result.spec.objectives),
             "bounds": [str(b) for b in result.bounds],
+            "traffic": (
+                None
+                if result.spec.traffic is None
+                else {
+                    "tenants": [
+                        f"{t.name}:{t.model}:{t.arrival}" for t in result.spec.traffic.tenants
+                    ],
+                    "tiles": result.spec.traffic.num_tiles,
+                    "scheduler": result.spec.traffic.scheduler,
+                }
+            ),
             "infeasible": len(result.infeasible),
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,

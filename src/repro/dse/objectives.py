@@ -27,6 +27,7 @@ from repro.physical.timing import max_frequency_ghz
 __all__ = [
     "Objective",
     "OBJECTIVES",
+    "SERVING_METRICS",
     "parse_objectives",
     "Workload",
     "conv_workload",
@@ -71,8 +72,22 @@ OBJECTIVES: dict[str, Objective] = {
         Objective("fmax_ghz", "max", "GHz"),
         Objective("throughput_gmacs", "max", "GMAC/s"),
         Objective("edp", "min", "mJ*ms"),
+        # Serving objectives: scored by running the design under a traffic
+        # profile (spec.traffic) through repro.serve's cluster engine.
+        Objective("p99_latency_ms", "min", "ms"),
+        Objective("goodput_qps", "max", "QPS"),
+        Objective("qps_per_watt", "max", "QPS/W"),
+        Objective("slo_violation_rate", "min", ""),
     )
 }
+
+#: Metrics that only exist when the spec carries a traffic profile.
+SERVING_METRICS: tuple[str, ...] = (
+    "p99_latency_ms",
+    "goodput_qps",
+    "qps_per_watt",
+    "slo_violation_rate",
+)
 
 
 def parse_objectives(names: str | list[str] | tuple[str, ...]) -> tuple[Objective, ...]:
@@ -178,6 +193,9 @@ class EvaluationSpec:
     objectives: tuple[str, ...] = ("latency_ms", "area_mm2", "power_mw")
     fidelity: str = "analytic"  # "analytic" | "soc"
     cpu: str = "none"  # host CPU included in the area account
+    #: a :class:`repro.serve.TrafficProfile` — when set, the design is also
+    #: run under this traffic and the SERVING_METRICS become available
+    traffic: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.fidelity not in ("analytic", "soc"):
@@ -187,6 +205,16 @@ class EvaluationSpec:
             raise ValueError(
                 f"workload {self.workload.name!r} carries no model; "
                 "soc fidelity needs a zoo model workload"
+            )
+        serving = [n for n in self.objectives if n in SERVING_METRICS]
+        if serving and self.traffic is None:
+            raise ValueError(
+                f"objectives {serving} are serving metrics; the spec needs a "
+                "traffic profile (EvaluationSpec(traffic=TrafficProfile(...)))"
+            )
+        if self.traffic is not None and not hasattr(self.traffic, "tenants"):
+            raise ValueError(
+                f"traffic must be a repro.serve.TrafficProfile, got {type(self.traffic)}"
             )
 
     @property
@@ -236,6 +264,29 @@ def _soc_cycles_and_energy(config: GemminiConfig, spec: EvaluationSpec) -> tuple
     return float(result.total_cycles), estimate_run_energy(soc, result).total_mj
 
 
+def _serving_metrics(config: GemminiConfig, spec: EvaluationSpec, fmax: float, power: float) -> dict:
+    """Run the design under the spec's traffic profile (serve fidelity).
+
+    The SoC is clocked at the design's achievable frequency, so a slower
+    (larger/denser) design sees proportionally more arrival cycles between
+    requests — tail latency and goodput trade off against area and power
+    exactly the way the serving objectives need.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.serve.cluster import simulate_serving
+
+    result = simulate_serving(spec.traffic, gemmini=dc_replace(config, clock_ghz=fmax))
+    overall = result.report.overall
+    watts = power / 1e3
+    return {
+        "p99_latency_ms": overall.p99_ms,
+        "goodput_qps": overall.goodput_qps,
+        "qps_per_watt": overall.goodput_qps / watts if watts > 0 else 0.0,
+        "slo_violation_rate": overall.slo_violation_rate,
+    }
+
+
 def evaluate_design(point: dict, spec: EvaluationSpec) -> Evaluation:
     """Score one point: the cost model every strategy optimises against.
 
@@ -275,6 +326,8 @@ def evaluate_design(point: dict, spec: EvaluationSpec) -> Evaluation:
         "throughput_gmacs": workload.total_macs / seconds / 1e9,
         "edp": energy_mj * latency_ms,
     }
+    if spec.traffic is not None:
+        metrics.update(_serving_metrics(config, spec, fmax, dyn_power))
     return Evaluation(
         point=tuple(sorted(point.items())),
         config_summary=config.describe(),

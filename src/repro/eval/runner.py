@@ -302,6 +302,10 @@ class RunnerStats:
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
 
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready form (lands in the BENCH_*.json ``extra_info``)."""
+        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+
     def __str__(self) -> str:
         return (
             f"cache: {self.hits} hit{'s' if self.hits != 1 else ''} / "
@@ -449,8 +453,13 @@ class ExperimentRunner:
         return self.run_specs(specs)
 
     def stats(self) -> RunnerStats:
-        """Hits/misses/hit-rate accumulated over this runner's lifetime."""
+        """Hits/misses/hit-rate accumulated since the last reset."""
         return RunnerStats(hits=self.hits, misses=self.misses)
+
+    def reset_stats(self) -> None:
+        """Zero the counters so multi-phase runs report per-phase numbers."""
+        self.hits = 0
+        self.misses = 0
 
 
 class _ItemCall:

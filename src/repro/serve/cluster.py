@@ -1,0 +1,316 @@
+"""The cluster engine: traffic-driven execution on a multi-tile SoC.
+
+Each SoC tile runs as one generator (:meth:`ServingSimulation._tile_worker`)
+that alternates between idling toward the next known event and executing a
+scheduled request by driving that request's bound
+:class:`~repro.sw.runtime.Runtime` macro-op stream.  All tile workers are
+interleaved by :func:`~repro.sim.engine.lockstep_merge`, so a request's
+queueing delay *composes* with the modeled shared-resource contention: two
+tenants on different tiles slow each other down through the shared L2, the
+DRAM channel and the (optionally shared) page-table walker, exactly the
+mechanism behind the paper's Figure 9c dual-controller study — here driven
+by open- or closed-loop traffic instead of a single run-to-completion.
+
+Determinism: arrivals are seeded per tenant, schedulers tie-break on
+``(arrival, tenant, index)``, and ``lockstep_merge`` resolves equal clocks
+by tile index, so a fixed ``(profile, config, seed)`` reproduces the exact
+request log and latency distribution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.core.config import GemminiConfig
+from repro.mem.hierarchy import MemorySystemConfig
+from repro.serve.metrics import ServeReport, build_report
+from repro.serve.request import ModelKey, Request, RequestRecord
+from repro.serve.scheduler import Scheduler, make_scheduler
+from repro.serve.workload import TenantSpec, TrafficProfile, make_source, requests_for
+from repro.sim.engine import lockstep_merge
+from repro.soc.os_model import OSConfig
+from repro.soc.soc import SoC, SoCConfig
+from repro.sw.runtime import Runtime
+
+__all__ = ["ServeResult", "ServingSimulation", "simulate_serving", "estimate_service_cycles"]
+
+
+def estimate_service_cycles(spec: TenantSpec, config: GemminiConfig) -> float:
+    """Analytic service-time estimate for one request of this tenant.
+
+    Uses the compiler's im2col lowering plus the closed-form spatial-array
+    cost model — the same estimate the DSE analytic fidelity scores designs
+    with — so SJF scheduling needs no profiling run.
+    """
+    from repro.core.config import Dataflow
+    from repro.core.spatial_array import SpatialArrayModel
+    from repro.dse.objectives import model_workload
+
+    workload = model_workload(spec.model, input_hw=spec.input_hw, seq=spec.seq)
+    model = SpatialArrayModel(config)
+    dataflow = Dataflow.WS if config.dataflow is Dataflow.BOTH else config.dataflow
+    return float(sum(model.matmul_cost(m, k, n, dataflow).total for m, k, n in workload.shapes))
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving simulation produced (plain data, picklable)."""
+
+    profile: TrafficProfile
+    records: list[RequestRecord]
+    report: ServeReport
+    makespan_cycles: float
+    clock_ghz: float
+    issued: int
+    dropped: dict[str, int] = field(default_factory=dict)
+    l2_miss_rate: float = 0.0
+    dram_bytes: int = 0
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+
+class ServingSimulation:
+    """Bind one traffic profile to one SoC configuration and run it."""
+
+    #: idle re-check interval while waiting on another tile's completion
+    #: (closed-loop arrivals) — bounds how stale an idle tile's view can get
+    idle_quantum: float = 50_000.0
+
+    def __init__(
+        self,
+        profile: TrafficProfile,
+        gemmini: GemminiConfig | None = None,
+        mem: MemorySystemConfig | None = None,
+        os: OSConfig | None = None,
+        scheduler: Scheduler | None = None,
+        scheduler_options: dict | None = None,
+    ) -> None:
+        from repro.core.config import default_config
+
+        self.profile = profile
+        self.gemmini = gemmini or default_config()
+        self.soc = SoC(
+            SoCConfig(
+                gemmini=self.gemmini,
+                mem=mem or MemorySystemConfig(),
+                num_tiles=profile.num_tiles,
+                os=os or OSConfig(),
+            )
+        )
+        self.clock_ghz = self.gemmini.clock_ghz
+        if scheduler is None:
+            options = scheduler_options
+            if options is None and profile.scheduler == "batch":
+                options = {
+                    "batch_size": profile.batch_size,
+                    "window_cycles": profile.batch_window_ms * self.clock_ghz * 1e6,
+                }
+            scheduler = make_scheduler(profile.scheduler, **(options or {}))
+        self.scheduler = scheduler
+        self._compiled: dict[ModelKey, object] = {}
+        self._runtimes: dict[tuple[int, ModelKey], Runtime] = {}
+        self._cost_hints: dict[str, float] = {}
+        horizon = profile.horizon_ms
+        self._horizon = horizon * self.clock_ghz * 1e6 if horizon is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Model binding                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _compile(self, key: ModelKey):
+        if key not in self._compiled:
+            from repro.core.generator import SoftwareParams
+            from repro.models.zoo import build_model
+            from repro.sw.compiler import compile_graph
+
+            name, input_hw, seq = key
+            kwargs = {"seq": seq} if name == "bert" else {"input_hw": input_hw}
+            graph = build_model(name, **kwargs)
+            self._compiled[key] = compile_graph(graph, SoftwareParams.from_config(self.gemmini))
+        return self._compiled[key]
+
+    def _runtime(self, tile_index: int, key: ModelKey) -> Runtime:
+        """The tile's persistent binding for one model: tensors allocate in
+        the tile's address space once, then every request of that model on
+        that tile re-runs the same plan (a resident serving replica)."""
+        slot = (tile_index, key)
+        if slot not in self._runtimes:
+            self._runtimes[slot] = Runtime(self.soc.tiles[tile_index], self._compile(key))
+        return self._runtimes[slot]
+
+    def _cost_hint(self, spec: TenantSpec) -> float:
+        if spec.name not in self._cost_hints:
+            self._cost_hints[spec.name] = estimate_service_cycles(spec, self.gemmini)
+        return self._cost_hints[spec.name]
+
+    # ------------------------------------------------------------------ #
+    # Simulation                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ServeResult:
+        profile = self.profile
+        self._records: list[RequestRecord] = []
+        self._inflight = 0
+        self._arrivals: list[tuple[float, int, Request]] = []  # (time, seq, request)
+        self._arrival_seq = 0
+        self._sources = {}
+        self._next_index: dict[str, int] = {}
+        self._expected = 0
+
+        for spec in profile.tenants:
+            source = make_source(spec, profile.seed, self.clock_ghz)
+            self._sources[spec.name] = source
+            times = source.initial_times()
+            self._push_requests(spec, times)
+            self._expected += spec.total_requests
+
+        ends = lockstep_merge(
+            [self._tile_worker(index) for index in range(profile.num_tiles)]
+        )
+        # Makespan is the last completion; idle workers overshoot it by up
+        # to one idle tick, so worker end clocks are only the empty-run
+        # fallback.
+        makespan = max((r.finish for r in self._records), default=max(ends, default=0.0))
+        dropped = self._count_dropped()
+        report = build_report(
+            self._records, profile.tenants, self.clock_ghz, makespan, dropped
+        )
+        return ServeResult(
+            profile=profile,
+            records=sorted(self._records, key=lambda r: (r.finish, r.tenant, r.index)),
+            report=report,
+            makespan_cycles=makespan,
+            clock_ghz=self.clock_ghz,
+            # Actually-generated requests: for a horizon-cut closed loop the
+            # completion-driven chain stops issuing, so this can be well
+            # under the spec's budget — issued - completed == sum(dropped).
+            issued=sum(self._next_index.values()),
+            dropped=dropped,
+            l2_miss_rate=self.soc.l2_miss_rate(),
+            dram_bytes=self.soc.mem.dram.bytes_moved,
+        )
+
+    # -- request plumbing ----------------------------------------------- #
+
+    def _push_requests(self, spec: TenantSpec, times: list[float]) -> None:
+        start = self._next_index.get(spec.name, 0)
+        requests = requests_for(
+            spec,
+            times,
+            start_index=start,
+            cost_hint=self._cost_hint(spec),
+            clock_ghz=self.clock_ghz,
+        )
+        self._next_index[spec.name] = start + len(requests)
+        for request in requests:
+            heapq.heappush(
+                self._arrivals, (request.arrival, self._arrival_seq, request)
+            )
+            self._arrival_seq += 1
+
+    def _release(self, now: float) -> None:
+        """Move every request that has arrived by ``now`` into the queue."""
+        while self._arrivals and self._arrivals[0][0] <= now:
+            __, __, request = heapq.heappop(self._arrivals)
+            self.scheduler.add(request)
+
+    def _next_event(self, tile_index: int, now: float) -> float | None:
+        """Earliest future time at which new work could become pickable."""
+        candidates = []
+        if self._arrivals:
+            candidates.append(self._arrivals[0][0])
+        wake = self.scheduler.wakeup(tile_index, now)
+        if wake is not None:
+            candidates.append(wake)
+        return min(candidates) if candidates else None
+
+    def _count_dropped(self) -> dict[str, int]:
+        """Issued-but-unserved requests (horizon cut or starved pins)."""
+        served: dict[str, int] = {}
+        for record in self._records:
+            served[record.tenant] = served.get(record.tenant, 0) + 1
+        out = {}
+        for spec in self.profile.tenants:
+            issued = self._next_index.get(spec.name, 0)
+            done = served.get(spec.name, 0)
+            if issued > done:
+                out[spec.name] = issued - done
+        return out
+
+    # -- the per-tile worker -------------------------------------------- #
+
+    def _tile_worker(self, tile_index: int) -> Generator[float, None, None]:
+        tile = self.soc.tiles[tile_index]
+        controller = tile.accel.controller
+        clock = controller.now
+
+        while len(self._records) + self._inflight < self._expected:
+            if self._horizon is not None and clock >= self._horizon:
+                break
+            self._release(clock)
+            request = self.scheduler.pick(tile_index, clock)
+
+            if request is None:
+                target = self._next_event(tile_index, clock)
+                if target is None:
+                    if self._inflight == 0:
+                        break  # nothing queued, nothing coming: drained
+                    # A closed-loop follow-up may appear when another tile
+                    # completes; re-check on a bounded idle tick.
+                    target = clock + self.idle_quantum
+                else:
+                    target = min(target, clock + self.idle_quantum)
+                # Guarantee forward progress even when an event is "now":
+                # a pick that failed at this clock cannot succeed at it.
+                clock = max(target, clock + 1.0)
+                yield clock
+                continue
+
+            start = max(clock, request.arrival)
+            controller.advance_to(start)
+            runtime = self._runtime(tile_index, request.model_key)
+            self._inflight += 1
+            finish = start
+            for t in runtime.run_generator():
+                finish = t
+                if t > clock:
+                    clock = t
+                yield clock
+            self._inflight -= 1
+            record = RequestRecord(
+                tenant=request.tenant,
+                index=request.index,
+                model=request.model,
+                tile=tile_index,
+                arrival=request.arrival,
+                start=start,
+                finish=finish,
+                slo_cycles=request.slo_cycles,
+            )
+            self._records.append(record)
+            follow = self._sources[request.tenant].next_after_completion(finish)
+            if follow is not None:
+                spec = next(t for t in self.profile.tenants if t.name == request.tenant)
+                self._push_requests(spec, [follow])
+
+
+def simulate_serving(
+    profile: TrafficProfile,
+    gemmini: GemminiConfig | None = None,
+    mem: MemorySystemConfig | None = None,
+    os: OSConfig | None = None,
+    scheduler_options: dict | None = None,
+) -> ServeResult:
+    """One-shot convenience: build the cluster, run the traffic, report.
+
+    Module-level and pure-data in/out, so it can ship through
+    :class:`~repro.eval.runner.ExperimentRunner` workers and its results
+    land in the content-hash cache.
+    """
+    return ServingSimulation(
+        profile, gemmini=gemmini, mem=mem, os=os, scheduler_options=scheduler_options
+    ).run()

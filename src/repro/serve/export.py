@@ -1,0 +1,126 @@
+"""Export and rendering of serving results: JSON, CSV, tables.
+
+The JSON layout mirrors the DSE export (and is the CI artifact format)::
+
+    {"meta": {scheduler, seed, tiles, tenants, ...},
+     "overall": {p99_latency_ms, goodput_qps, slo_violation_rate, ...},
+     "tenants": [{name, ...metrics...}, ...],
+     "records": [{tenant, index, arrival, start, finish, ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.eval.report import format_table
+from repro.serve.cluster import ServeResult
+
+__all__ = ["serve_to_dict", "export_serve_json", "export_serve_csv", "serve_table"]
+
+
+def _metrics_row(metrics) -> dict:
+    row = {"tenant": metrics.tenant}
+    row.update(metrics.summary())
+    return row
+
+
+def serve_to_dict(result: ServeResult) -> dict:
+    """The whole serving result as one JSON-serialisable dict."""
+    report = result.report
+    profile = result.profile
+    overall = _metrics_row(report.overall)
+    # The DSE serving objectives, under their objective names.
+    overall["p99_latency_ms"] = report.overall.p99_ms
+    return {
+        "meta": {
+            "scheduler": profile.scheduler,
+            "seed": profile.seed,
+            "tiles": profile.num_tiles,
+            "clock_ghz": result.clock_ghz,
+            "horizon_ms": profile.horizon_ms,
+            "tenants": [
+                {
+                    "name": t.name,
+                    "model": t.model,
+                    "arrival": t.arrival,
+                    "rate_qps": t.rate_qps,
+                    "requests": t.total_requests,
+                    "priority": t.priority,
+                    "slo_ms": t.slo_ms,
+                    "pin_tile": t.pin_tile,
+                }
+                for t in profile.tenants
+            ],
+            "issued": result.issued,
+            "completed": result.completed,
+            "dropped": result.dropped,
+            "makespan_ms": report.makespan_ms,
+            "fairness": report.fairness,
+            "l2_miss_rate": result.l2_miss_rate,
+            "dram_bytes": result.dram_bytes,
+        },
+        "overall": overall,
+        "tenants": [_metrics_row(m) for m in report.tenants],
+        "records": [r.to_dict() for r in result.records],
+    }
+
+
+def export_serve_json(result: ServeResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(serve_to_dict(result), indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def export_serve_csv(result: ServeResult, path: str | Path) -> Path:
+    """One row per completed request."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = [r.to_dict() for r in result.records]
+    fieldnames = list(rows[0]) if rows else ["tenant"]
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def serve_table(result: ServeResult) -> str:
+    """Human-readable per-tenant SLO table plus the cluster aggregate."""
+    report = result.report
+    headers = [
+        "tenant",
+        "done",
+        "drop",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "mean ms",
+        "QPS",
+        "goodput",
+        "SLO viol",
+    ]
+    rows = []
+    for metrics in report.tenants + [report.overall]:
+        rows.append(
+            (
+                metrics.tenant,
+                str(metrics.completed),
+                str(metrics.dropped),
+                f"{metrics.p50_ms:.2f}",
+                f"{metrics.p95_ms:.2f}",
+                f"{metrics.p99_ms:.2f}",
+                f"{metrics.mean_ms:.2f}",
+                f"{metrics.throughput_qps:.1f}",
+                f"{metrics.goodput_qps:.1f}",
+                f"{metrics.slo_violation_rate:.1%}",
+            )
+        )
+    title = (
+        f"serving — scheduler {result.profile.scheduler}, "
+        f"{result.profile.num_tiles} tile(s), seed {result.profile.seed}, "
+        f"makespan {report.makespan_ms:.1f} ms, fairness {report.fairness:.3f}"
+    )
+    return format_table(headers, rows, title=title)

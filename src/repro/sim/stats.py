@@ -69,6 +69,27 @@ class Histogram:
                 return value
         return max(self.buckets)
 
+    def summary(self) -> dict[str, float]:
+        """The distribution digest serving/latency reports are built from."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": float(self.percentile(0.50)),
+            "p95": float(self.percentile(0.95)),
+            "p99": float(self.percentile(0.99)),
+            "max": float(self.max),
+        }
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram (in place).
+
+        Used to aggregate per-worker/per-tenant histograms into one
+        cluster-wide distribution; returns ``self`` for chaining.
+        """
+        for value, weight in other.buckets.items():
+            self.record(value, weight)
+        return self
+
     def reset(self) -> None:
         self.buckets.clear()
         self.total = 0

@@ -147,3 +147,57 @@ class TestExplorer:
             ).explore()
         assert [e.point for e in serial.trace] == [e.point for e in parallel.trace]
         assert serial.hypervolume == parallel.hypervolume
+
+
+class TestServingObjectives:
+    def traffic(self):
+        from repro.serve import TenantSpec, TrafficProfile
+
+        return TrafficProfile(
+            tenants=(
+                TenantSpec(
+                    name="t",
+                    model="squeezenet",
+                    input_hw=32,
+                    rate_qps=300.0,
+                    num_requests=3,
+                    slo_ms=5.0,
+                ),
+            ),
+            num_tiles=1,
+            seed=0,
+        )
+
+    def test_serving_objectives_require_traffic(self):
+        with pytest.raises(ValueError, match="traffic"):
+            EvaluationSpec(objectives=("p99_latency_ms", "area_mm2"))
+
+    def test_traffic_must_be_a_profile(self):
+        with pytest.raises(ValueError, match="TrafficProfile"):
+            EvaluationSpec(
+                objectives=("p99_latency_ms", "area_mm2"), traffic="not-a-profile"
+            )
+
+    def test_evaluate_design_scores_serving_metrics(self, space):
+        spec = EvaluationSpec(
+            objectives=("p99_latency_ms", "area_mm2", "qps_per_watt"),
+            traffic=self.traffic(),
+        )
+        evaluation = evaluate_design(space.sample(__import__("random").Random(0)), spec)
+        metrics = evaluation.metric_dict
+        assert metrics["p99_latency_ms"] > 0
+        assert metrics["goodput_qps"] >= 0
+        assert metrics["qps_per_watt"] >= 0
+        assert 0 <= metrics["slo_violation_rate"] <= 1
+
+    def test_explorer_end_to_end_under_traffic(self, space):
+        spec = EvaluationSpec(
+            objectives=("p99_latency_ms", "area_mm2"), traffic=self.traffic()
+        )
+        strategy = make_strategy("random", space, seed=0)
+        with ExperimentRunner(max_workers=1) as runner:
+            result = Explorer(space, strategy, spec, budget=3, runner=runner).explore()
+        assert result.front, "serving-objective search produced no front"
+        assert result.hypervolume > 0
+        for evaluation in result.front:
+            assert evaluation.metric("p99_latency_ms") > 0

@@ -428,3 +428,26 @@ class TestRunnerStats:
         out = capsys.readouterr().out
         assert "run_figures cache: 0 hits / 1 miss (0% hit rate)" in out
         assert "run_figures cache: 1 hit / 0 misses (100% hit rate)" in out
+
+
+class TestResetStats:
+    def test_reset_gives_per_phase_numbers(self, tmp_path):
+        """A multi-phase run can report each phase's own hit/miss counts."""
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as runner:
+            runner.map(square, [1, 2, 3])
+            phase1 = runner.stats()
+            runner.reset_stats()
+            runner.map(square, [1, 2, 3, 4])
+            phase2 = runner.stats()
+        assert (phase1.hits, phase1.misses) == (0, 3)
+        assert (phase2.hits, phase2.misses) == (3, 1)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        from repro.eval.runner import RunnerStats
+
+        stats = RunnerStats(hits=3, misses=1)
+        payload = stats.to_dict()
+        assert payload == {"hits": 3, "misses": 1, "hit_rate": 0.75}
+        json.dumps(payload)

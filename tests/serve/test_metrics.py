@@ -1,0 +1,152 @@
+"""Unit tests for SLO metrics and serving exports (synthetic records)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.serve.cluster import ServeResult
+from repro.serve.export import (
+    export_serve_csv,
+    export_serve_json,
+    serve_table,
+    serve_to_dict,
+)
+from repro.serve.metrics import build_report, jain_fairness
+from repro.serve.request import RequestRecord
+from repro.serve.workload import TenantSpec, TrafficProfile
+
+
+def record(tenant, index, arrival, start, finish, slo_cycles=None):
+    return RequestRecord(
+        tenant=tenant,
+        index=index,
+        model="squeezenet",
+        tile=0,
+        arrival=arrival,
+        start=start,
+        finish=finish,
+        slo_cycles=slo_cycles,
+    )
+
+
+def tenants(**kw):
+    a = TenantSpec(name="a", model="squeezenet", num_requests=2, slo_ms=1.0, **kw)
+    b = TenantSpec(name="b", model="squeezenet", num_requests=2, **kw)
+    return (a, b)
+
+
+class TestJainFairness:
+    def test_equal_allocations_are_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_max_unfair(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+class TestBuildReport:
+    def make(self):
+        # Tenant a: latencies 1e6 and 3e6 cycles (1 ms, 3 ms at 1 GHz) with
+        # a 1 ms SLO -> one violation.  Tenant b: one request, no SLO.
+        records = [
+            record("a", 0, arrival=0.0, start=0.0, finish=1e6, slo_cycles=1e6),
+            record("a", 1, arrival=1e6, start=2e6, finish=4e6, slo_cycles=1e6),
+            record("b", 0, arrival=0.0, start=5e5, finish=2e6),
+        ]
+        return build_report(
+            records, tenants(), clock_ghz=1.0, makespan_cycles=4e6, dropped={"b": 1}
+        )
+
+    def test_per_tenant_latency_quantiles(self):
+        report = self.make()
+        a = report.tenant("a")
+        assert a.completed == 2
+        assert a.p50_ms == pytest.approx(1.0)
+        assert a.p99_ms == pytest.approx(3.0)
+        assert a.mean_ms == pytest.approx(2.0)
+        assert a.queue_mean_ms == pytest.approx(0.5)  # (0 + 1e6)/2 cycles
+        assert a.service_mean_ms == pytest.approx(1.5)
+
+    def test_slo_accounting(self):
+        report = self.make()
+        a = report.tenant("a")
+        assert a.slo_met == 1
+        assert a.slo_violation_rate == pytest.approx(0.5)
+        # b has no SLO: completions count as met, but the drop still counts.
+        b = report.tenant("b")
+        assert b.slo_met == 1
+        assert b.dropped == 1
+        assert b.slo_violation_rate == pytest.approx(0.5)
+
+    def test_rates_use_makespan(self):
+        report = self.make()
+        seconds = 4e6 / 1e9  # 4 ms
+        assert report.overall.throughput_qps == pytest.approx(3 / seconds)
+        assert report.overall.goodput_qps == pytest.approx(2 / seconds)
+
+    def test_overall_is_merge_of_tenants(self):
+        report = self.make()
+        assert report.overall.completed == 3
+        assert report.overall.latency.count == 3
+        assert report.overall.p99_ms == pytest.approx(3.0)
+
+    def test_unknown_tenant_raises(self):
+        with pytest.raises(KeyError):
+            self.make().tenant("zz")
+
+
+def make_result():
+    profile = TrafficProfile(tenants=tenants(), num_tiles=1, seed=4)
+    records = [
+        record("a", 0, 0.0, 0.0, 1e6, slo_cycles=1e6),
+        record("a", 1, 1e6, 2e6, 4e6, slo_cycles=1e6),
+        record("b", 0, 0.0, 5e5, 2e6),
+        record("b", 1, 1e6, 2e6, 3e6),
+    ]
+    report = build_report(records, profile.tenants, 1.0, 4e6)
+    return ServeResult(
+        profile=profile,
+        records=records,
+        report=report,
+        makespan_cycles=4e6,
+        clock_ghz=1.0,
+        issued=4,
+        l2_miss_rate=0.25,
+        dram_bytes=1_000_000,
+    )
+
+
+class TestExport:
+    def test_dict_layout(self):
+        data = serve_to_dict(make_result())
+        assert data["meta"]["seed"] == 4
+        assert data["meta"]["tiles"] == 1
+        assert data["meta"]["fairness"] == pytest.approx(1.0)
+        assert data["overall"]["p99_latency_ms"] > 0
+        assert data["overall"]["goodput_qps"] > 0
+        assert [t["tenant"] for t in data["tenants"]] == ["a", "b"]
+        assert len(data["records"]) == 4
+
+    def test_json_round_trip(self, tmp_path):
+        path = export_serve_json(make_result(), tmp_path / "serve.json")
+        data = json.loads(path.read_text())
+        assert data["overall"]["completed"] == 4
+        assert data["records"][0]["tenant"] == "a"
+
+    def test_csv_one_row_per_record(self, tmp_path):
+        path = export_serve_csv(make_result(), tmp_path / "serve.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert {"tenant", "latency_cycles", "slo_met"} <= set(rows[0])
+
+    def test_table_renders_every_tenant(self):
+        text = serve_table(make_result())
+        assert "tenant" in text
+        for name in ("a", "b", "overall"):
+            assert name in text
+        assert "fairness" in text

@@ -107,3 +107,62 @@ class TestLockstepMerge:
         rest = times[2:]
         assert primed == [1.0, 2.0]
         assert rest == sorted(rest)
+
+
+class TestServingShapedLoad:
+    """Merge behaviour under the shapes the serving cluster produces: many
+    per-tile streams, idle ticks landing on identical clocks, and tiles
+    that drain far earlier than the rest."""
+
+    def test_many_uneven_streams(self):
+        """Dozens of streams with wildly different lengths all complete and
+        report their own final clock (no cross-stream bleed)."""
+        streams = [
+            make_stream([float(j) * (i + 1) for j in range(1, 2 + (i % 17))])
+            for i in range(64)
+        ]
+        expected = [float(1 + (i % 17)) * (i + 1) for i in range(64)]
+        assert lockstep_merge(streams) == expected
+
+    def test_tie_breaking_is_reproducible(self):
+        """Identical runs interleave identically, even with heavy clock
+        ties — the property that makes serving request logs replayable."""
+
+        def run():
+            log = []
+            streams = [
+                make_stream([1.0, 1.0, 5.0, 9.0], log, "t0"),
+                make_stream([1.0, 2.0, 5.0], log, "t1"),
+                make_stream([1.0, 5.0, 5.0, 5.0], log, "t2"),
+            ]
+            lockstep_merge(streams)
+            return log
+
+        first = run()
+        for __ in range(3):
+            assert run() == first
+
+    def test_equal_clock_ties_prefer_lower_tile_index(self):
+        log = []
+        streams = [make_stream([4.0, 7.0], log, i) for i in range(5)]
+        lockstep_merge(streams)
+        assert log == [(i, 4.0) for i in range(5)] + [(i, 7.0) for i in range(5)]
+
+    def test_early_finisher_does_not_stall_long_streams(self):
+        """A tile that drains its queue early (short burst) must not hold
+        back tiles still serving: the laggard rule keeps stepping them."""
+        log = []
+        short = make_stream([1.0], log, "short")
+        long_a = make_stream([float(t) for t in range(2, 30)], log, "a")
+        long_b = make_stream([float(t) + 0.5 for t in range(2, 30)], log, "b")
+        ends = lockstep_merge([short, long_a, long_b])
+        assert ends == [1.0, 29.0, 29.5]
+        # Once the short stream is done, a/b strictly alternate (their
+        # clocks interleave), which only happens if neither is blocked.
+        tail = [tag for tag, __ in log if tag != "short"][-10:]
+        assert tail == ["a", "b"] * 5
+
+    def test_stream_finishing_at_zero_reports_priming_clock(self):
+        """A stream that yields once and stops keeps its only clock."""
+        ends = lockstep_merge([make_stream([0.0]), make_stream([3.0, 6.0])])
+        assert ends == [0.0, 6.0]

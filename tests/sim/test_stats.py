@@ -59,6 +59,60 @@ class TestHistogram:
         with pytest.raises(ValueError):
             h.percentile(1.5)
 
+    def test_summary_digest(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.record(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == 50
+        assert s["p95"] == 95
+        assert s["p99"] == 99
+        assert s["max"] == 100
+
+    def test_summary_empty(self):
+        s = Histogram("lat").summary()
+        assert s == {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_merge_aggregates_workers(self):
+        """Merging per-worker histograms equals recording all samples once."""
+        a, b, combined = Histogram("a"), Histogram("b"), Histogram("all")
+        for v in (1, 2, 2, 9):
+            a.record(v)
+            combined.record(v)
+        for v in (2, 5, 9, 9):
+            b.record(v, weight=2)
+            combined.record(v, weight=2)
+        out = a.merge(b)
+        assert out is a  # in place, chainable
+        assert a.buckets == combined.buckets
+        assert a.count == combined.count
+        assert a.total == combined.total
+        assert a.summary() == combined.summary()
+
+    def test_merge_empty_is_identity(self):
+        a = Histogram("a")
+        a.record(3)
+        before = dict(a.buckets)
+        a.merge(Histogram("empty"))
+        assert a.buckets == before
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=60),
+        ps=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=10),
+    )
+    def test_percentile_monotone_in_p(self, values, ps):
+        """percentile(p) must be non-decreasing in p — the property every
+        p50 <= p95 <= p99 serving report depends on."""
+        h = Histogram("lat")
+        for v in values:
+            h.record(v)
+        ps = sorted(ps)
+        quantiles = [h.percentile(p) for p in ps]
+        assert quantiles == sorted(quantiles)
+        assert h.min <= quantiles[0] and quantiles[-1] <= h.max
+
 
 class TestTimeSeries:
     def test_record_and_last(self):

@@ -127,3 +127,100 @@ class TestDse:
                 "dse", "--budget", "5", "--constraint", "area_mm2=4",
                 "--cache-dir", str(tmp_path),
             ])
+
+
+class TestSeedPlumbing:
+    def test_run_echoes_seed(self, capsys):
+        assert main(["run", "squeezenet", "--input-hw", "64", "--seed", "11"]) == 0
+        assert "seed: 11" in capsys.readouterr().out
+
+    def test_dse_echoes_seed(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert main([
+            "dse", "--strategy", "random", "--budget", "4", "--seed", "3",
+            "--max-dim", "8", "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert "seed: 3" in capsys.readouterr().out
+
+
+class TestServe:
+    TENANT = "model=squeezenet,qps=200,requests=3,input_hw=32,slo_ms=5"
+
+    def test_two_tenant_report(self, capsys):
+        assert main([
+            "serve", "--seed", "5", "--tiles", "2",
+            "--tenant", self.TENANT,
+            "--tenant", "model=squeezenet,qps=200,requests=3,input_hw=32,priority=1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seed: 5" in out
+        assert "p99" in out and "goodput" in out and "fairness" in out
+        assert "tenant0" in out and "tenant1" in out and "overall" in out
+        assert "6/6 served" in out
+
+    def test_serve_is_deterministic(self, capsys):
+        args = ["serve", "--seed", "0", "--tenant", self.TENANT]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_export_json_and_csv(self, capsys, tmp_path):
+        json_path = tmp_path / "serve.json"
+        csv_path = tmp_path / "serve.csv"
+        assert main([
+            "serve", "--tenant", self.TENANT,
+            "--export-json", str(json_path), "--export-csv", str(csv_path),
+        ]) == 0
+        import csv as csv_mod
+        import json as json_mod
+
+        data = json_mod.loads(json_path.read_text())
+        assert data["overall"]["p99_latency_ms"] > 0
+        assert data["overall"]["goodput_qps"] > 0
+        with csv_path.open() as fh:
+            assert len(list(csv_mod.DictReader(fh))) == 3
+
+    def test_scheduler_flag(self, capsys):
+        assert main([
+            "serve", "--scheduler", "batch", "--batch-size", "2",
+            "--batch-window-ms", "0.5", "--tenant", self.TENANT,
+        ]) == 0
+        assert "scheduler batch" in capsys.readouterr().out
+
+    def test_needs_a_tenant(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_trace_replay(self, capsys, tmp_path):
+        import json as json_mod
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(json_mod.dumps({
+            "tenants": [{
+                "model": "squeezenet", "input_hw": 32,
+                "arrival_ms": [0.0, 0.2, 0.4],
+            }]
+        }))
+        assert main(["serve", "--trace", str(trace)]) == 0
+        assert "3/3 served" in capsys.readouterr().out
+
+
+class TestDseServingObjectives:
+    def test_serving_objectives_end_to_end(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert main([
+            "dse", "--strategy", "random", "--budget", "3", "--seed", "0",
+            "--max-dim", "8", "--cache-dir", str(tmp_path),
+            "--objectives", "p99_latency_ms,area_mm2,qps_per_watt",
+            "--traffic", "model=squeezenet,qps=300,requests=3,input_hw=32,slo_ms=5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p99_latency_ms" in out and "qps_per_watt" in out
+
+    def test_serving_objectives_require_traffic(self):
+        with pytest.raises(SystemExit):
+            main([
+                "dse", "--budget", "3",
+                "--objectives", "p99_latency_ms,area_mm2",
+            ])

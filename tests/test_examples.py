@@ -21,6 +21,8 @@ def test_example_runs(script):
     args = [sys.executable, str(EXAMPLES_DIR / script)]
     if script in ("multicore_partitioning.py", "virtual_memory_tuning.py"):
         args += ["--input-hw", "64"]
+    if script == "serving_study.py":
+        args += ["--input-hw", "32", "--requests", "5"]
     result = subprocess.run(
         args,
         capture_output=True,
