@@ -1,0 +1,108 @@
+"""Batched analytic DSE evaluation: throughput vs the per-point path.
+
+Scores one randomized 512-point batch of the full example space through
+:func:`~repro.dse.evaluate_design_batch` and through a per-point
+:func:`~repro.dse.evaluate_design` loop, asserts the two agree within
+1e-9 relative on every analytic metric, and records the speedup.  The
+headline number uses a whole-network workload (mobilenetv2 — the shape
+count a real DSE pays per point); the single-shape conv workload is
+recorded alongside as the overhead-bound floor.
+
+CI reads ``extra_info`` from the BENCH JSON and fails when the batched
+path regresses below 3x the scalar baseline measured in the same run
+(the 512-point target on a quiet machine is >= 10x).
+"""
+
+import math
+import random
+import time
+
+from benchmarks.conftest import FAST
+from repro.dse import (
+    EvaluationSpec,
+    conv_workload,
+    evaluate_design,
+    evaluate_design_batch,
+    gemmini_space,
+    model_workload,
+)
+
+POINTS = 128 if FAST else 512
+SEED = 0
+REL_TOL = 1e-9
+
+
+def _sample_points(n):
+    space = gemmini_space(max_dim=32)
+    rng = random.Random(SEED)
+    return [space.sample(rng) for __ in range(n)]
+
+
+def _time_best(fn, rounds=3):
+    best = math.inf
+    result = None
+    for __ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def _measure(points, spec):
+    scalar, t_scalar = _time_best(lambda: [evaluate_design(p, spec) for p in points])
+    batched, t_batch = _time_best(lambda: evaluate_design_batch(points, spec))
+    worst_rel = 0.0
+    for s, b in zip(scalar, batched):
+        assert s.point == b.point and s.config_summary == b.config_summary
+        for (name, sv), (__, bv) in zip(s.metrics, b.metrics):
+            rel = abs(sv - bv) / abs(sv) if sv else abs(bv)
+            worst_rel = max(worst_rel, rel)
+            assert rel <= REL_TOL, f"{name}: batch {bv!r} vs scalar {sv!r}"
+    return {
+        "scalar_s": t_scalar,
+        "batch_s": t_batch,
+        "speedup": t_scalar / t_batch,
+        "scalar_points_per_s": len(points) / t_scalar,
+        "batch_points_per_s": len(points) / t_batch,
+        "worst_rel_err": worst_rel,
+    }
+
+
+def test_dse_batch_speedup(benchmark, emit):
+    points = _sample_points(POINTS)
+    model_spec = EvaluationSpec(workload=model_workload("mobilenetv2", input_hw=96))
+    conv_spec = EvaluationSpec(workload=conv_workload())
+
+    # Warm both paths (imports, numpy dispatch, model graph construction).
+    evaluate_design_batch(points[:8], model_spec)
+    [evaluate_design(p, model_spec) for p in points[:8]]
+
+    model_stats = _measure(points, model_spec)
+    conv_stats = _measure(points, conv_spec)
+
+    benchmark.extra_info["points"] = POINTS
+    benchmark.extra_info["model_workload"] = model_stats
+    benchmark.extra_info["conv_workload"] = conv_stats
+    # The gate CI enforces: the realistic whole-network evaluation.
+    benchmark.extra_info["speedup"] = model_stats["speedup"]
+    benchmark.extra_info["batch_points_per_s"] = model_stats["batch_points_per_s"]
+    benchmark.pedantic(
+        lambda: evaluate_design_batch(points, model_spec), rounds=3, iterations=1
+    )
+
+    lines = [f"batched analytic evaluation over {POINTS} randomized points:"]
+    for name, stats in (("mobilenetv2", model_stats), ("conv3x3", conv_stats)):
+        lines.append(
+            f"  {name:12s} scalar {stats['scalar_points_per_s']:8.0f} pts/s | "
+            f"batched {stats['batch_points_per_s']:8.0f} pts/s | "
+            f"{stats['speedup']:5.1f}x | worst rel err {stats['worst_rel_err']:.2e}"
+        )
+    emit("dse_batch_speedup", "\n".join(lines))
+
+    assert model_stats["worst_rel_err"] <= REL_TOL
+    assert conv_stats["worst_rel_err"] <= REL_TOL
+    # In-run regression floor (CI re-checks from the JSON); quiet machines
+    # see >= 10x on the whole-network workload.
+    assert model_stats["speedup"] >= 3.0, (
+        f"batched path only {model_stats['speedup']:.1f}x over scalar"
+    )

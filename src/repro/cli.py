@@ -211,13 +211,21 @@ def cmd_dse(args) -> int:
         traffic=_traffic_from_args(args, args.parser.error),
     )
     space = gemmini_space(max_dim=args.max_dim)
-    strategy = make_strategy(args.strategy, space, seed=args.seed)
+    batch_eval = not args.scalar_eval
+    strategy_options = {}
+    if batch_eval and args.fidelity == "analytic" and spec.traffic is None:
+        if args.strategy in ("grid", "random"):
+            # Coverage strategies' traces are invariant to the ask batch
+            # size; bigger slabs amortise the vectorised evaluator better.
+            strategy_options["batch_size"] = 64
+    strategy = make_strategy(args.strategy, space, seed=args.seed, **strategy_options)
     bounds = tuple(parse_bound(text) for text in args.constraint)
 
     cache_dir = args.cache_dir or default_cache_dir()
     with ExperimentRunner(max_workers=args.workers, cache=cache_dir) as runner:
         explorer = Explorer(
-            space, strategy, spec, budget=args.budget, bounds=bounds, runner=runner
+            space, strategy, spec, budget=args.budget, bounds=bounds, runner=runner,
+            batch_eval=batch_eval,
         )
         result = explorer.explore()
         stats = runner.stats()
@@ -359,6 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("analytic", "soc"),
         default="analytic",
         help="cost model: closed-form array model or full SoC simulation",
+    )
+    p_dse.add_argument(
+        "--scalar-eval",
+        action="store_true",
+        help="force the per-point scalar evaluator (skip the batched analytic fast path)",
     )
     p_dse.add_argument("--workers", type=int, default=None, help="parallel evaluator processes")
     p_dse.add_argument(

@@ -17,6 +17,7 @@ from repro.dse.engine import (
     default_cache_dir,
     shared_hypervolume,
 )
+from repro.dse.batch import ConfigColumns, UnsupportedPoint, build_columns
 from repro.dse.export import export_csv, export_json, front_table, result_to_dict
 from repro.dse.objectives import (
     OBJECTIVES,
@@ -27,6 +28,7 @@ from repro.dse.objectives import (
     Workload,
     conv_workload,
     evaluate_design,
+    evaluate_design_batch,
     model_workload,
     parse_objectives,
 )
@@ -81,8 +83,12 @@ __all__ = [
     "Workload",
     "conv_workload",
     "evaluate_design",
+    "evaluate_design_batch",
     "model_workload",
     "parse_objectives",
+    "ConfigColumns",
+    "UnsupportedPoint",
+    "build_columns",
     "MetricBound",
     "crowding_distance",
     "dominates",

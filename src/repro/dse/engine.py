@@ -13,7 +13,13 @@ import functools
 import os
 from dataclasses import dataclass, field
 
-from repro.dse.objectives import Evaluation, EvaluationSpec, evaluate_design, parse_objectives
+from repro.dse.objectives import (
+    Evaluation,
+    EvaluationSpec,
+    evaluate_design,
+    evaluate_design_batch,
+    parse_objectives,
+)
 from repro.dse.pareto import (
     MetricBound,
     front_hypervolume,
@@ -121,6 +127,7 @@ class Explorer:
         budget: int = 50,
         bounds: tuple[MetricBound, ...] | list[MetricBound] = (),
         runner: ExperimentRunner | None = None,
+        batch_eval: bool = True,
     ) -> None:
         if budget < 1:
             raise ValueError("budget must be >= 1")
@@ -132,6 +139,13 @@ class Explorer:
         self.budget = budget
         self.bounds = tuple(bounds)
         self.runner = runner
+        #: Evaluate analytic proposals through the vectorised
+        #: :func:`~repro.dse.objectives.evaluate_design_batch` fast path
+        #: (still per-point content-hash cached); False forces the scalar
+        #: per-point evaluator everywhere.  SoC fidelity and serving
+        #: objectives always take the scalar path, which parallelises
+        #: expensive per-point simulations across worker processes.
+        self.batch_eval = batch_eval
         unknown = [b.metric for b in self.bounds if b.metric not in _metric_names()]
         if unknown:
             raise ValueError(f"bounds on unknown metric(s) {unknown}")
@@ -150,6 +164,15 @@ class Explorer:
         )
         hits0, misses0 = runner.hits, runner.misses
         evaluate = functools.partial(evaluate_design, spec=self.spec)
+        # The vectorised fast path covers exactly what evaluate_design_batch
+        # vectorises: analytic fidelity with no traffic profile.  SoC and
+        # serving evaluations stay on runner.map so each expensive per-point
+        # simulation can fan out across worker processes.
+        fast = (
+            self.batch_eval
+            and self.spec.fidelity == "analytic"
+            and self.spec.traffic is None
+        )
 
         trace: list[Evaluation] = []
         seen: dict[tuple, Evaluation] = {}
@@ -161,9 +184,14 @@ class Explorer:
                     break  # space (or reachable neighbourhood) exhausted
                 new = [p for p in points if point_key(p) not in seen]
                 if new:
-                    results = runner.map(
-                        evaluate, new, label="dse", labels=[point_label(p) for p in new]
-                    )
+                    labels = [point_label(p) for p in new]
+                    if fast:
+                        results = runner.map_batch(
+                            evaluate_design_batch, new, label="dse",
+                            labels=labels, spec=self.spec,
+                        )
+                    else:
+                        results = runner.map(evaluate, new, label="dse", labels=labels)
                     for point, evaluation in zip(new, results):
                         seen[point_key(point)] = evaluation
                         trace.append(evaluation)

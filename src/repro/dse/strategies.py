@@ -90,12 +90,19 @@ class GridSearch(Strategy):
 
     The budget simply truncates the grid; there is no adaptivity, which
     makes this the coverage baseline the adaptive strategies must beat.
+    ``batch_size`` only controls how many points reach the evaluator per
+    ask/tell round — enumeration order (and therefore the trace) is
+    invariant to it, so large batches feed the vectorised analytic
+    evaluator whole slabs at once.
     """
 
     name = "grid"
 
-    def __init__(self, space: ParamSpace, seed: int = 0) -> None:
+    def __init__(self, space: ParamSpace, seed: int = 0, batch_size: int = 8) -> None:
         super().__init__(space, seed)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
         self._iter: Iterator[dict] = space.points()
 
     def ask(self, n: int) -> list[dict]:
@@ -109,9 +116,21 @@ class GridSearch(Strategy):
 
 
 class RandomSearch(Strategy):
-    """Uniform rejection sampling over the valid space."""
+    """Uniform rejection sampling over the valid space.
+
+    Like :class:`GridSearch`, the proposal stream comes from one seeded
+    RNG drawn sequentially, so the evaluated trace is invariant to
+    ``batch_size`` — raising it just hands the batched analytic evaluator
+    more points per call.
+    """
 
     name = "random"
+
+    def __init__(self, space: ParamSpace, seed: int = 0, batch_size: int = 8) -> None:
+        super().__init__(space, seed)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
 
     def ask(self, n: int) -> list[dict]:
         out = []

@@ -129,6 +129,31 @@ def _callable_state(fn: Callable[..., Any]) -> Any:
     return state
 
 
+@lru_cache(maxsize=512)
+def _fn_fingerprint(inner: Callable[..., Any]) -> tuple[str, str, str]:
+    """(identity, source, module source) of an innermost callable.
+
+    Memoised per function object: a sweep computes one cache key per point
+    but every point shares the same function, so the source lookups (two
+    file reads through :mod:`inspect`) would otherwise dominate key cost.
+    A redefined function is a new object and gets a fresh entry.
+    """
+    ident = f"{getattr(inner, '__module__', '?')}.{getattr(inner, '__qualname__', repr(inner))}"
+    try:
+        source = inspect.getsource(inner)
+    except (OSError, TypeError):
+        source = ""
+    # Also hash the function's whole module file: sweeps commonly read
+    # module-level constants (shape lists, capacities) that the
+    # function's own source does not contain.
+    try:
+        srcfile = inspect.getsourcefile(inner)
+        module_src = Path(srcfile).read_text(encoding="utf-8") if srcfile else ""
+    except (OSError, TypeError):
+        module_src = ""
+    return ident, source, module_src
+
+
 @lru_cache(maxsize=None)
 def _source_fingerprint(root: str | None = None) -> str:
     """Fingerprint of the package source tree (per-file path/size/mtime).
@@ -194,19 +219,10 @@ class ExperimentSpec:
         inner = target
         while isinstance(inner, functools.partial):
             inner = inner.func
-        ident = f"{getattr(inner, '__module__', '?')}.{getattr(inner, '__qualname__', repr(inner))}"
         try:
-            source = inspect.getsource(inner)
-        except (OSError, TypeError):
-            source = ""
-        # Also hash the function's whole module file: sweeps commonly read
-        # module-level constants (shape lists, capacities) that the
-        # function's own source does not contain.
-        try:
-            srcfile = inspect.getsourcefile(inner)
-            module_src = Path(srcfile).read_text(encoding="utf-8") if srcfile else ""
-        except (OSError, TypeError):
-            module_src = ""
+            ident, source, module_src = _fn_fingerprint(inner)
+        except TypeError:  # unhashable callable (e.g. a custom instance)
+            ident, source, module_src = _fn_fingerprint.__wrapped__(inner)
         return config_hash(
             {
                 "fn": ident,
@@ -375,18 +391,31 @@ class ExperimentRunner:
     def run_specs(self, specs: Sequence[ExperimentSpec]) -> list[Any]:
         """Run specs, returning results in order.
 
-        Cached results are served immediately; the remainder execute in
-        parallel (or inline when a pool is not worth spinning up).
+        Cached results are served immediately; within one batch, specs with
+        identical cache keys compute once and fan out (the evolutionary and
+        annealing DSE strategies routinely re-propose points); the
+        remainder execute in parallel (or inline when a pool is not worth
+        spinning up).
         """
         results: list[Any] = [None] * len(specs)
         pending: list[int] = []
         # Key computation hashes source text and kwargs; do it once per spec.
-        keys = [spec.key for spec in specs] if self.cache is not None else []
+        keys = [spec.key for spec in specs] if self.cache is not None else None
+        primary: dict[str, int] = {}  # key -> first pending position
+        duplicates: dict[int, int] = {}  # position -> its primary position
         for i, spec in enumerate(specs):
-            if self.cache is not None:
+            if keys is not None:
                 value = self.cache.get(keys[i])
                 if value is not ResultCache._MISS:
                     results[i] = value
+                    self.hits += 1
+                    continue
+                first = primary.setdefault(keys[i], i)
+                if first != i:
+                    # The identical computation is already pending in this
+                    # batch: run it once, fan the result out below, and
+                    # count the extra as a hit.
+                    duplicates[i] = first
                     self.hits += 1
                     continue
             self.misses += 1
@@ -415,6 +444,8 @@ class ExperimentRunner:
                 for future in futures:
                     future.cancel()
                 raise
+        for i, first in duplicates.items():
+            results[i] = results[first]
         return results
 
     def map(
@@ -452,6 +483,79 @@ class ExperimentRunner:
         ]
         return self.run_specs(specs)
 
+    def map_batch(
+        self,
+        batch_fn: Callable[..., Sequence[Any]],
+        items: Iterable[Any],
+        *,
+        label: str | None = None,
+        labels: Sequence[Any] | None = None,
+        **shared: Any,
+    ) -> list[Any]:
+        """Cached map evaluated through one vectorised batch call.
+
+        ``batch_fn(items, **shared)`` must return one result per item, in
+        order.  Caching, hit/miss accounting and duplicate-key
+        deduplication stay per item — the same content-hash granularity as
+        :meth:`map`, so re-running, reordering or enlarging a sweep only
+        pays for genuinely new items — but all the misses execute in ONE
+        ``batch_fn`` call instead of one task per item.  Runs in-process:
+        the point of a batched evaluator is that its per-item cost is far
+        below what a process fan-out would amortise.
+        """
+        items = list(items)
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != len(items):
+                raise ValueError(
+                    f"labels length {len(labels)} does not match items length {len(items)}"
+                )
+        base = label or getattr(batch_fn, "__name__", "map_batch")
+        call = _BatchCall(batch_fn)
+        shared_kwargs = tuple(sorted(shared.items()))
+        specs = [
+            ExperimentSpec(
+                name=f"{base}[{labels[i] if labels is not None else i}]",
+                fn=call,
+                kwargs=(("item", item),) + shared_kwargs,
+            )
+            for i, item in enumerate(items)
+        ]
+        results: list[Any] = [None] * len(items)
+        pending: list[int] = []
+        keys = [spec.key for spec in specs] if self.cache is not None else None
+        primary: dict[str, int] = {}
+        duplicates: dict[int, int] = {}
+        for i in range(len(items)):
+            if keys is not None:
+                value = self.cache.get(keys[i])
+                if value is not ResultCache._MISS:
+                    results[i] = value
+                    self.hits += 1
+                    continue
+                first = primary.setdefault(keys[i], i)
+                if first != i:
+                    duplicates[i] = first
+                    self.hits += 1
+                    continue
+            self.misses += 1
+            pending.append(i)
+
+        if pending:
+            values = list(batch_fn([items[i] for i in pending], **shared))
+            if len(values) != len(pending):
+                raise ValueError(
+                    f"batch function returned {len(values)} results "
+                    f"for {len(pending)} items"
+                )
+            for i, value in zip(pending, values):
+                results[i] = value
+                if keys is not None:
+                    self.cache.put(keys[i], value)
+        for i, first in duplicates.items():
+            results[i] = results[first]
+        return results
+
     def stats(self) -> RunnerStats:
         """Hits/misses/hit-rate accumulated since the last reset."""
         return RunnerStats(hits=self.hits, misses=self.misses)
@@ -473,3 +577,22 @@ class _ItemCall:
 
     def __call__(self, item: Any) -> Any:
         return self.fn(item)
+
+
+class _BatchCall:
+    """Per-item cache identity over a batch function (``map_batch``).
+
+    The spec's kwargs carry one item plus the shared keywords; calling the
+    adapter evaluates just that item through a single-element batch, so a
+    spec that ends up on the generic :meth:`ExperimentRunner.run_specs`
+    path still computes the right value.
+    """
+
+    def __init__(self, fn: Callable[..., Sequence[Any]]) -> None:
+        self.fn = fn
+        self.__module__ = getattr(fn, "__module__", "?")
+        self.__qualname__ = f"batch:{getattr(fn, '__qualname__', repr(fn))}"
+        self.__wrapped__ = fn  # lets ExperimentSpec.key fingerprint the source
+
+    def __call__(self, item: Any, **shared: Any) -> Any:
+        return self.fn([item], **shared)[0]

@@ -72,3 +72,35 @@ def accelerator_area(
         cpu=tech.cpu_area_um2[cpu],
         uncore=tech.uncore_area_um2,
     )
+
+
+def pipeline_register_count_batch(cols):
+    """Vectorised :func:`pipeline_register_count` over config columns."""
+    return cols.dim * (cols.mesh_rows - 1) + cols.dim * (cols.mesh_cols - 1) + 2 * cols.dim
+
+
+def accelerator_area_batch(cols, cpu: str = "rocket", tech: Technology = INTEL_22FFL):
+    """Vectorised total area (um^2) over struct-of-arrays config columns.
+
+    ``cols`` exposes ``dim``, ``mesh_rows``, ``mesh_cols``, ``num_pes``,
+    ``input_bits``, ``sp_capacity_bytes`` and ``acc_capacity_bytes`` as
+    numpy arrays (see :class:`repro.dse.batch.ConfigColumns`).  Each term
+    mirrors :func:`accelerator_area` / :func:`spatial_array_area` so the
+    batched evaluator's totals match :attr:`AreaBreakdown.total` within
+    1e-9 relative.
+    """
+    import numpy as np
+
+    if cpu not in tech.cpu_area_um2:
+        raise ValueError(f"unknown CPU {cpu!r}; known: {sorted(tech.cpu_area_um2)}")
+    pes = cols.num_pes * tech.pe_area_um2
+    regs = pipeline_register_count_batch(cols) * tech.pipeline_reg_area_um2
+    width_scale = np.maximum(1.0, cols.input_bits / 8.0)
+    spatial = pes * width_scale + regs
+    return (
+        spatial
+        + cols.sp_capacity_bytes * tech.sp_sram_um2_per_byte
+        + cols.acc_capacity_bytes * tech.acc_sram_um2_per_byte
+        + tech.cpu_area_um2[cpu]
+        + tech.uncore_area_um2
+    )

@@ -23,3 +23,16 @@ def critical_path_ns(config: GemminiConfig, tech: Technology = INTEL_22FFL) -> f
 def max_frequency_ghz(config: GemminiConfig, tech: Technology = INTEL_22FFL) -> float:
     """Maximum clock frequency of the instance, GHz."""
     return 1.0 / critical_path_ns(config, tech)
+
+
+def max_frequency_ghz_batch(cols, tech: Technology = INTEL_22FFL):
+    """Vectorised :func:`max_frequency_ghz` over struct-of-arrays columns.
+
+    ``cols`` is any object exposing ``tile_rows`` and ``input_bits`` as
+    numpy arrays (see :class:`repro.dse.batch.ConfigColumns`); the formula
+    mirrors :func:`critical_path_ns` term for term.
+    """
+    import numpy as np
+
+    width_scale = np.maximum(1.0, cols.input_bits / 8.0) ** 0.5
+    return 1.0 / (tech.t_base_ns + cols.tile_rows * tech.t_mac_ns * width_scale)

@@ -229,16 +229,30 @@ class ServingSimulation:
         return min(candidates) if candidates else None
 
     def _count_dropped(self) -> dict[str, int]:
-        """Issued-but-unserved requests (horizon cut or starved pins)."""
-        served: dict[str, int] = {}
-        for record in self._records:
-            served[record.tenant] = served.get(record.tenant, 0) + 1
-        out = {}
-        for spec in self.profile.tenants:
-            issued = self._next_index.get(spec.name, 0)
-            done = served.get(spec.name, 0)
-            if issued > done:
-                out[spec.name] = issued - done
+        """Issued-but-unserved requests (horizon cut or starved pins).
+
+        Counted structurally, by draining where unserved work actually
+        sits: the scheduler (including requests staged inside an open
+        batch on a tile that stopped picking — ``Scheduler.drain`` reaches
+        policy-internal structures the queue accessors alone would miss)
+        and the not-yet-released arrival heap.  Every issued request is
+        therefore either a completion record or a drop; the invariant
+        ``completed + sum(dropped) == issued`` is asserted because a
+        scheduler that strands work outside ``drain()`` would silently
+        undercount drops.
+        """
+        out: dict[str, int] = {}
+        for request in self.scheduler.drain():
+            out[request.tenant] = out.get(request.tenant, 0) + 1
+        while self._arrivals:
+            __, __, request = heapq.heappop(self._arrivals)
+            out[request.tenant] = out.get(request.tenant, 0) + 1
+        issued = sum(self._next_index.values())
+        if len(self._records) + sum(out.values()) != issued:
+            raise RuntimeError(
+                f"request accounting broke: {len(self._records)} served + "
+                f"{sum(out.values())} dropped != {issued} issued"
+            )
         return out
 
     # -- the per-tile worker -------------------------------------------- #

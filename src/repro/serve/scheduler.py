@@ -48,6 +48,14 @@ class Scheduler:
     def pending(self) -> tuple[Request, ...]:
         return tuple(self._queue)
 
+    def drain(self) -> list[Request]:
+        """Remove and return every request still held, including any staged
+        in policy-internal structures (open batches).  The cluster engine
+        calls this once the simulation ends so stranded work lands in the
+        dropped tally instead of silently vanishing with the scheduler."""
+        out, self._queue = self._queue, []
+        return out
+
     def _eligible(self, tile_index: int) -> list[Request]:
         return [r for r in self._queue if r.runnable_on(tile_index)]
 
@@ -102,7 +110,15 @@ class SJFScheduler(Scheduler):
 
 
 class RoundRobinScheduler(Scheduler):
-    """Fair-share: rotate through tenants, FCFS within each tenant."""
+    """Fair-share: rotate through tenants, FCFS within each tenant.
+
+    The rotation only holds tenants with queued work: a tenant whose last
+    request is served leaves the rotation (long multi-phase traces would
+    otherwise scan every tenant that ever appeared, on every pick) and
+    re-enters at the back when it next arrives — the same position a
+    just-served tenant gets, so pruning never perturbs the deterministic
+    rotation order.
+    """
 
     name = "rr"
 
@@ -132,11 +148,19 @@ class RoundRobinScheduler(Scheduler):
                 key=lambda r: (r.arrival, r.index),
             )
             self._queue.remove(best)
-            # Served tenant goes to the back of the rotation.
+            # Served tenant goes to the back of the rotation — unless it
+            # just drained (it re-enters at the back on its next arrival,
+            # which is the identical rotation position).  Tenants with
+            # requests pinned to other tiles still count as queued.
             self._rotation.remove(tenant)
-            self._rotation.append(tenant)
+            if any(r.tenant == tenant for r in self._queue):
+                self._rotation.append(tenant)
             return best
         return None
+
+    def drain(self) -> list[Request]:
+        self._rotation.clear()
+        return super().drain()
 
 
 class BatchScheduler(Scheduler):
@@ -156,6 +180,26 @@ class BatchScheduler(Scheduler):
         self.batch_size = batch_size
         self.window_cycles = window_cycles
         self._batches: dict[int, list[Request]] = {}  # tile -> open batch
+
+    def __len__(self) -> int:
+        # Requests staged in open batches are still pending work: a batch
+        # member not yet handed to its tile must count (it would otherwise
+        # vanish from the queue-depth accounting the moment its batch
+        # formed).
+        return len(self._queue) + sum(len(batch) for batch in self._batches.values())
+
+    @property
+    def pending(self) -> tuple[Request, ...]:
+        staged = tuple(
+            request for tile in sorted(self._batches) for request in self._batches[tile]
+        )
+        return tuple(self._queue) + staged
+
+    def drain(self) -> list[Request]:
+        out = super().drain()
+        for tile in sorted(self._batches):
+            out.extend(self._batches.pop(tile))
+        return out
 
     def pick(self, tile_index: int, now: float) -> Request | None:
         batch = self._batches.get(tile_index)

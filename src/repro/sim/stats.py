@@ -139,14 +139,23 @@ class RateWindow:
         self._seen_in_window = 0
 
     def record(self, time: float, positive: bool, weight: int = 1) -> None:
-        if positive:
-            self._hits_in_window += weight
-        self._seen_in_window += weight
-        while self._seen_in_window >= self.window:
-            rate = min(1.0, self._hits_in_window / self._seen_in_window)
-            self.series.record(time, rate)
-            self._hits_in_window = 0
-            self._seen_in_window = 0
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        # A weighted record can cross one or more window boundaries (e.g. a
+        # burst of block accesses reported as one event); fold it in window
+        # by window so every emitted rate covers exactly ``window`` events
+        # instead of one rate over an oversized window.
+        remaining = weight
+        while remaining > 0:
+            take = min(remaining, self.window - self._seen_in_window)
+            if positive:
+                self._hits_in_window += take
+            self._seen_in_window += take
+            remaining -= take
+            if self._seen_in_window >= self.window:
+                self.series.record(time, self._hits_in_window / self._seen_in_window)
+                self._hits_in_window = 0
+                self._seen_in_window = 0
 
     def flush(self, time: float) -> None:
         """Emit a final partial window, if any events are pending."""

@@ -321,6 +321,27 @@ class TestExperimentRunner:
         with pytest.raises(ValueError):
             ExperimentRunner(max_workers=0)
 
+    def test_duplicate_specs_in_one_batch_compute_once(self, tmp_path):
+        """Regression: two specs with identical cache keys in one batch
+        both missed and both executed (evolutionary/annealing strategies
+        re-propose points) — now the extras fan out as hits."""
+        marker = tmp_path / "calls"
+
+        def counted(x):
+            marker.write_text(marker.read_text() + "x" if marker.exists() else "x")
+            return x * 10
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "cache") as runner:
+            assert runner.map(counted, [2, 2, 3, 2]) == [20, 20, 30, 20]
+            assert runner.hits == 2  # the two duplicate 2s
+            assert runner.misses == 2  # one execution per unique key
+        assert marker.read_text() == "xx"
+
+    def test_duplicate_specs_fan_out_in_parallel_runs(self, tmp_path):
+        with ExperimentRunner(max_workers=2, cache=tmp_path) as runner:
+            assert runner.map(square, [5, 5, 6, 6, 5]) == [25, 25, 36, 36, 25]
+            assert runner.hits == 3 and runner.misses == 2
+
     def test_default_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert default_workers() == 3
@@ -400,6 +421,96 @@ class TestMapLabels:
         with ExperimentRunner(max_workers=1, cache=tmp_path) as second:
             assert second.map(square, [5, 6], labels=["x", "y"]) == [25, 36]
             assert second.hits == 2 and second.misses == 0
+
+
+def square_batch(items: list) -> list:
+    """Module-level batch evaluator (one call scores the whole list)."""
+    return [x * x for x in items]
+
+
+def scaled_batch(items: list, factor: int = 1) -> list:
+    return [x * factor for x in items]
+
+
+class TestMapBatch:
+    def test_results_in_order(self):
+        with ExperimentRunner(max_workers=1) as runner:
+            assert runner.map_batch(square_batch, [3, 1, 2]) == [9, 1, 4]
+
+    def test_misses_execute_in_one_call(self, tmp_path):
+        # A call log file (not a captured list: mutable closure state would
+        # change the cache key between calls).
+        log = tmp_path / "calls.txt"
+
+        def tracked_batch(items):
+            with log.open("a") as fh:
+                fh.write(",".join(map(str, items)) + "\n")
+            return [x + 1 for x in items]
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "cache") as runner:
+            assert runner.map_batch(tracked_batch, [1, 2, 3]) == [2, 3, 4]
+        assert log.read_text().splitlines() == ["1,2,3"]  # one batched call
+
+    def test_cache_granularity_is_per_item(self, tmp_path):
+        """Enlarging or reordering a sweep only hands batch_fn the new
+        items — the property budget-enlarged DSE re-runs rely on."""
+        log = tmp_path / "calls.txt"
+
+        def tracked_batch(items):
+            with log.open("a") as fh:
+                fh.write(",".join(map(str, items)) + "\n")
+            return [x * 2 for x in items]
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "cache") as first:
+            first.map_batch(tracked_batch, [10, 20])
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "cache") as second:
+            assert second.map_batch(tracked_batch, [30, 20, 10, 40]) == [60, 40, 20, 80]
+            assert second.hits == 2 and second.misses == 2
+        assert log.read_text().splitlines() == ["10,20", "30,40"]
+
+    def test_duplicate_items_compute_once(self, tmp_path):
+        log = tmp_path / "calls.txt"
+
+        def tracked_batch(items):
+            with log.open("a") as fh:
+                fh.write(",".join(map(str, items)) + "\n")
+            return [x + 5 for x in items]
+
+        with ExperimentRunner(max_workers=1, cache=tmp_path / "cache") as runner:
+            assert runner.map_batch(tracked_batch, [7, 7, 8]) == [12, 12, 13]
+            assert runner.hits == 1 and runner.misses == 2
+        assert log.read_text().splitlines() == ["7,8"]
+
+    def test_shared_kwargs_reach_fn_and_cache_key(self, tmp_path):
+        with ExperimentRunner(max_workers=1, cache=tmp_path) as runner:
+            assert runner.map_batch(scaled_batch, [1, 2], factor=3) == [3, 6]
+            assert runner.map_batch(scaled_batch, [1, 2], factor=4) == [4, 8]
+            # Different shared kwargs are different computations.
+            assert runner.misses == 4 and runner.hits == 0
+            assert runner.map_batch(scaled_batch, [1, 2], factor=3) == [3, 6]
+            assert runner.hits == 2
+
+    def test_wrong_result_count_rejected(self):
+        def broken_batch(items):
+            return [0]
+
+        with ExperimentRunner(max_workers=1) as runner:
+            with pytest.raises(ValueError, match="returned 1 results for 2"):
+                runner.map_batch(broken_batch, [1, 2])
+
+    def test_labels_length_mismatch_rejected(self):
+        with ExperimentRunner(max_workers=1) as runner:
+            with pytest.raises(ValueError, match="labels length"):
+                runner.map_batch(square_batch, [1, 2], labels=["only-one"])
+
+    def test_empty_items(self):
+        with ExperimentRunner(max_workers=1) as runner:
+            assert runner.map_batch(square_batch, []) == []
+
+    def test_works_without_cache(self):
+        with ExperimentRunner(max_workers=1) as runner:
+            assert runner.map_batch(square_batch, [4, 5]) == [16, 25]
+            assert runner.misses == 2 and runner.hits == 0
 
 
 class TestRunnerStats:

@@ -173,6 +173,37 @@ class TestHorizon:
         assert result.report.tenant("t").slo_violation_rate > 0
 
 
+    def test_stranded_open_batch_counts_as_dropped(self):
+        """Regression: requests staged in an open batch on a tile that
+        stops picking (horizon cut) must drain into the dropped tally
+        instead of silently vanishing inside the scheduler."""
+        spec = TenantSpec(
+            name="t",
+            model="squeezenet",
+            input_hw=32,
+            arrival="trace",
+            trace_ms=(0.0, 0.0, 0.0, 0.0),
+            slo_ms=1.0,
+        )
+        result = simulate_serving(
+            TrafficProfile(
+                tenants=(spec,),
+                num_tiles=1,
+                scheduler="batch",
+                batch_size=4,
+                batch_window_ms=0.0,
+                seed=0,
+                horizon_ms=0.01,
+            )
+        )
+        # The tile opens the 4-batch at t=0, serves its first member, then
+        # hits the horizon with three requests still staged in the batch.
+        assert result.completed == 1
+        assert result.dropped == {"t": 3}
+        assert result.completed + sum(result.dropped.values()) == result.issued
+        # Drops surface in the SLO accounting too.
+        assert result.report.tenant("t").dropped == 3
+
     def test_horizon_cut_closed_loop_accounts_consistently(self):
         """A horizon-cut closed loop stops issuing: `issued` must count
         actually-generated requests so issued - completed == dropped."""

@@ -70,6 +70,42 @@ class TestSJF:
         assert [r.tenant for r in drain(s)] == ["small", "big"]
 
 
+class TestDrainAccounting:
+    def test_drain_empties_the_queue(self):
+        s = FCFSScheduler()
+        for i in range(3):
+            s.add(req(index=i, arrival=float(i)))
+        drained = s.drain()
+        assert [r.index for r in drained] == [0, 1, 2]
+        assert len(s) == 0 and s.pending == ()
+        assert s.drain() == []
+
+    def test_open_batch_counts_in_len_and_pending(self):
+        """Regression: requests moved from the queue into an open batch
+        vanished from __len__/pending the moment the batch formed."""
+        s = BatchScheduler(batch_size=2, window_cycles=100.0)
+        s.add(req(index=0, arrival=0.0))
+        s.add(req(index=1, arrival=5.0))
+        assert len(s) == 2
+        first = s.pick(0, now=5.0)  # batch forms; first member dispatched
+        assert first.index == 0
+        # The second member is staged in the open batch: still pending work.
+        assert len(s) == 1
+        assert [r.index for r in s.pending] == [1]
+
+    def test_drain_reaches_open_batches(self):
+        """Regression: a batch opened on a tile that never picks again must
+        surface through drain() so the engine can count it as dropped."""
+        s = BatchScheduler(batch_size=3, window_cycles=0.0)
+        for i in range(3):
+            s.add(req(index=i, arrival=float(i)))
+        s.add(req(index=9, arrival=50.0, model=("bert", 64, 16)))
+        assert s.pick(0, now=60.0).index == 0  # opens the 3-batch on tile 0
+        drained = s.drain()
+        assert sorted(r.index for r in drained) == [1, 2, 9]
+        assert len(s) == 0 and s.pending == ()
+
+
 class TestRoundRobin:
     def test_rotates_between_tenants(self):
         s = RoundRobinScheduler()
@@ -85,6 +121,42 @@ class TestRoundRobin:
         for i in (2, 0, 1):
             s.add(req(index=i, arrival=float(i)))
         assert [r.index for r in drain(s)] == [0, 1, 2]
+
+    def test_drained_tenant_leaves_the_rotation(self):
+        """Regression: departed tenants stayed in the rotation forever, so
+        long multi-phase traces scanned dead tenants on every pick."""
+        s = RoundRobinScheduler()
+        s.add(req(tenant="once", index=0, arrival=0.0))
+        for i in range(2):
+            s.add(req(tenant="steady", index=i, arrival=float(i) + 0.5))
+        assert s.pick(0, 10.0).tenant == "once"
+        assert s._rotation == ["steady"]  # "once" pruned, order preserved
+        assert s.pick(0, 10.0).tenant == "steady"
+
+    def test_tenant_that_drains_and_rearrives_resumes_fairly(self):
+        """A drained tenant re-enters at the back of the rotation — the
+        exact position a just-served tenant would hold — so fairness and
+        determinism survive multi-phase traffic."""
+        s = RoundRobinScheduler()
+        s.add(req(tenant="a", index=0, arrival=0.0))
+        for i in range(3):
+            s.add(req(tenant="b", index=i, arrival=float(i)))
+        assert [r.tenant for r in (s.pick(0, 99.0), s.pick(0, 99.0))] == ["a", "b"]
+        # Phase two: "a" re-arrives after fully draining; it queues behind
+        # the just-served "b" and the alternation resumes.
+        s.add(req(tenant="a", index=1, arrival=50.0))
+        order = [(r.tenant, r.index) for r in drain(s)]
+        assert order == [("b", 1), ("a", 1), ("b", 2)]
+
+    def test_pinned_requests_keep_their_tenant_in_rotation(self):
+        """A tenant whose remaining work is pinned elsewhere is not
+        'departed' — it must keep its rotation slot."""
+        s = RoundRobinScheduler()
+        s.add(req(tenant="a", index=0, arrival=0.0))
+        s.add(req(tenant="a", index=1, arrival=1.0, pin=1))
+        assert s.pick(0, 10.0).index == 0
+        assert s._rotation == ["a"]
+        assert s.pick(1, 10.0).index == 1
 
 
 class TestPinning:

@@ -148,6 +148,41 @@ class TestRateWindow:
         with pytest.raises(ValueError):
             RateWindow("miss", window=0)
 
+    def test_oversized_weight_splits_at_window_boundaries(self):
+        """Regression: a weight > window used to emit ONE rate over an
+        oversized window; it must fold into whole windows instead."""
+        rw = RateWindow("miss", window=4)
+        rw.record(1.0, True, weight=10)
+        # 10 positives = two full windows of 4, with 2 left pending.
+        assert rw.series.values == [1.0, 1.0]
+        rw.record(2.0, False, weight=2)
+        # The pending 2 positives plus 2 negatives close the third window.
+        assert rw.series.values == [1.0, 1.0, 0.5]
+        rw.flush(3.0)
+        assert rw.series.values == [1.0, 1.0, 0.5]  # nothing left pending
+
+    def test_weight_crossing_a_boundary_splits_the_tail(self):
+        """Regression: a record crossing the boundary folded its tail into
+        the emitted window (a rate over window+tail events) instead of
+        carrying it into the next window."""
+        rw = RateWindow("miss", window=4)
+        rw.record(0.0, False, weight=3)
+        rw.record(1.0, True, weight=3)  # 1 closes the window, 2 carry over
+        assert rw.series.values == [0.25]
+        rw.flush(2.0)
+        assert rw.series.values == [0.25, 1.0]
+
+    def test_zero_weight_is_a_noop(self):
+        rw = RateWindow("miss", window=4)
+        rw.record(0.0, True, weight=0)
+        rw.flush(1.0)
+        assert rw.series.values == []
+
+    def test_negative_weight_rejected(self):
+        rw = RateWindow("miss", window=4)
+        with pytest.raises(ValueError, match="non-negative"):
+            rw.record(0.0, True, weight=-1)
+
     @given(st.lists(st.booleans(), min_size=1, max_size=200))
     def test_rates_always_in_unit_interval(self, outcomes):
         rw = RateWindow("miss", window=8)
@@ -155,6 +190,32 @@ class TestRateWindow:
             rw.record(float(i), outcome)
         rw.flush(float(len(outcomes)))
         assert all(0.0 <= v <= 1.0 for v in rw.series.values)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=40)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_weighted_records_emit_exact_whole_windows(self, events):
+        """Every emitted rate covers exactly ``window`` events, whatever
+        weights arrive — the Fig. 4 series' x-axis contract."""
+        window = 8
+        rw = RateWindow("miss", window=window)
+        for i, (outcome, weight) in enumerate(events):
+            rw.record(float(i), outcome, weight=weight)
+        total = sum(w for __, w in events)
+        hits = sum(w for positive, w in events if positive)
+        assert len(rw.series) == total // window
+        # Rates are k/window for integer k, and total positives reconcile.
+        emitted = [v * window for v in rw.series.values]
+        assert all(abs(e - round(e)) < 1e-9 for e in emitted)
+        rw.flush(float(len(events)))
+        leftover = total % window
+        if leftover:
+            emitted.append(rw.series.values[-1] * leftover)
+        assert sum(emitted) == pytest.approx(hits)
 
 
 class TestStatsRegistry:
