@@ -1,0 +1,152 @@
+"""Trace record/replay fast path vs the per-macro-op serving baseline.
+
+The two-tenant serving study (Fig. 9c spirit): squeezenet and mobilenetv2
+pinned to their own tiles of a dual-tile SoC, Poisson traffic, shared
+L2/DRAM/PTW contention.  The whole study runs once through the recording
+path (``replay=False``) and once through the trace-replay engine, and the
+benchmark records the wall-clock speedup plus the replayed request count.
+
+Correctness is asserted in-run, matching the engine's contract:
+
+* a *single-tenant* control study must be **bitwise identical** between the
+  two paths (request log, report summary, memory counters), and
+* the contended two-tenant metrics must agree within the documented
+  tolerance (per-tenant mean 10%, p99 15%, makespan 5%).
+
+CI reads ``extra_info`` from the BENCH JSON and fails below 3x or on any
+parity mismatch; a quiet machine at the full problem size sees >= 5x.
+"""
+
+import time
+
+from benchmarks.conftest import FAST
+from repro.eval.report import format_table
+from repro.serve import TenantSpec, TrafficProfile, simulate_serving
+
+#: requests per tenant — the fast CI profile keeps the (uncacheable)
+#: recording-path baseline run short; the full size is what the >=5x
+#: acceptance number is quoted at.
+REQUESTS = 32 if FAST else 64
+QPS = 60.0
+SEED = 0
+
+TENANT_A = TenantSpec(
+    name="teamA",
+    model="squeezenet",
+    arrival="poisson",
+    rate_qps=QPS,
+    num_requests=REQUESTS,
+    input_hw=32,
+    slo_ms=10.0,
+    pin_tile=0,
+)
+TENANT_B = TenantSpec(
+    name="teamB",
+    model="mobilenetv2",
+    arrival="poisson",
+    rate_qps=QPS,
+    num_requests=REQUESTS,
+    input_hw=32,
+    slo_ms=10.0,
+    pin_tile=1,
+)
+STUDY = TrafficProfile(tenants=(TENANT_A, TENANT_B), num_tiles=2, seed=SEED)
+CONTROL = TrafficProfile(
+    tenants=(TenantSpec(
+        name="solo",
+        model="squeezenet",
+        arrival="poisson",
+        rate_qps=QPS,
+        num_requests=min(REQUESTS, 12),
+        input_hw=32,
+        slo_ms=10.0,
+    ),),
+    num_tiles=1,
+    seed=SEED,
+)
+
+
+def _timed(profile, replay):
+    t0 = time.perf_counter()
+    result = simulate_serving(profile, replay=replay)
+    return result, time.perf_counter() - t0
+
+
+def _assert_bitwise(base, fast):
+    assert fast.records == base.records, "uncontended replay diverged from the generator"
+    assert fast.report.overall.summary() == base.report.overall.summary()
+    assert fast.makespan_cycles == base.makespan_cycles
+    assert fast.l2_miss_rate == base.l2_miss_rate
+    assert fast.dram_bytes == base.dram_bytes
+
+
+def _tolerance_errors(base, fast):
+    errors = {"makespan": abs(fast.makespan_cycles / base.makespan_cycles - 1)}
+    for spec in (TENANT_A, TENANT_B):
+        tb = base.report.tenant(spec.name)
+        tf = fast.report.tenant(spec.name)
+        errors[f"{spec.name}_mean"] = abs(tf.mean_ms / tb.mean_ms - 1)
+        errors[f"{spec.name}_p99"] = abs(tf.p99_ms / tb.p99_ms - 1)
+    return errors
+
+
+def test_serve_replay_speedup(benchmark, emit):
+    # Bitwise control: one tenant, no contention, replay must be invisible.
+    control_base, __ = _timed(CONTROL, replay=False)
+    control_fast, __ = _timed(CONTROL, replay=True)
+    assert control_fast.replayed > 0
+    _assert_bitwise(control_base, control_fast)
+
+    # The contended study, both paths.
+    base, t_base = _timed(STUDY, replay=False)
+    fast, t_fast = _timed(STUDY, replay=True)
+    speedup = t_base / t_fast
+    errors = _tolerance_errors(base, fast)
+    parity_ok = (
+        fast.completed == base.completed
+        and errors["makespan"] < 0.05
+        and all(err < 0.10 for key, err in errors.items() if key.endswith("_mean"))
+        and all(err < 0.15 for key, err in errors.items() if key.endswith("_p99"))
+    )
+
+    benchmark.extra_info["requests_per_tenant"] = REQUESTS
+    benchmark.extra_info["baseline_s"] = t_base
+    benchmark.extra_info["replay_s"] = t_fast
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["replayed_requests"] = fast.replayed
+    benchmark.extra_info["completed"] = fast.completed
+    benchmark.extra_info["tolerance_errors"] = {k: round(v, 6) for k, v in errors.items()}
+    benchmark.extra_info["parity_ok"] = bool(parity_ok)
+    benchmark.extra_info["uncontended_bitwise_ok"] = True  # _assert_bitwise passed
+
+    # The recorded timing sample: a fresh replay-path run (traces rebuild —
+    # this is the number a user sees end to end, recording included).
+    benchmark.pedantic(lambda: simulate_serving(STUDY, replay=True), rounds=1, iterations=1)
+
+    rows = []
+    for name in (TENANT_A.name, TENANT_B.name):
+        tb, tf = base.report.tenant(name), fast.report.tenant(name)
+        rows.append(
+            (
+                name,
+                f"{tb.mean_ms:.2f}",
+                f"{tf.mean_ms:.2f}",
+                f"{tb.p99_ms:.2f}",
+                f"{tf.p99_ms:.2f}",
+            )
+        )
+    text = format_table(
+        ["tenant", "mean base", "mean replay", "p99 base", "p99 replay"],
+        rows,
+        title=(
+            f"two-tenant serving study ({REQUESTS} req/tenant, Poisson {QPS:.0f} QPS): "
+            f"baseline {t_base:.2f}s vs replay {t_fast:.2f}s = {speedup:.1f}x "
+            f"({fast.replayed}/{fast.completed} requests trace-replayed)"
+        ),
+    )
+    emit("serve_replay_speedup", text)
+
+    assert parity_ok, f"contended replay drifted beyond tolerance: {errors}"
+    # In-run regression floor (CI re-checks from the JSON); the full-size
+    # study on a quiet machine is >= 5x.
+    assert speedup >= 3.0, f"trace replay only {speedup:.1f}x over the recording path"

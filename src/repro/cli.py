@@ -28,6 +28,7 @@ from the command line alone.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from dataclasses import replace
 
@@ -67,6 +68,26 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+@contextlib.contextmanager
+def _maybe_profile(enabled: bool):
+    """``--profile``: run the simulation under cProfile and print the top 20
+    cumulative entries, so perf work starts from measured hot spots."""
+    if not enabled:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        print("\n--- cProfile: top 20 by cumulative time ---")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
 def cmd_generate(args) -> int:
     config = _config_from_args(args)
     generated = generate(config)
@@ -91,7 +112,8 @@ def cmd_run(args) -> int:
     graph = build_model(args.model, **kwargs)
     soc = make_soc(gemmini=config, cpu=args.cpu)
     model = compile_graph(graph, SoftwareParams.from_config(config))
-    result = Runtime(soc.tile, model).run()
+    with _maybe_profile(args.profile):
+        result = Runtime(soc.tile, model).run()
 
     print(f"model: {args.model} ({graph.total_macs() / 1e9:.2f} GMACs)")
     print(f"config: {config.describe()}")
@@ -275,7 +297,8 @@ def cmd_serve(args) -> int:
         )
         profile = TrafficProfile(tenants=tenants, **profile_kwargs)
 
-    result = simulate_serving(profile, gemmini=config)
+    with _maybe_profile(args.profile):
+        result = simulate_serving(profile, gemmini=config, replay=not args.no_replay)
 
     print(f"seed: {profile.seed}")
     print(f"config: {config.describe()}")
@@ -285,7 +308,8 @@ def cmd_serve(args) -> int:
         f"overall: p99 {report.overall.p99_ms:.2f} ms, "
         f"goodput {report.overall.goodput_qps:.1f} QPS, "
         f"fairness {report.fairness:.3f}, "
-        f"{result.completed}/{result.issued} served"
+        f"{result.completed}/{result.issued} served "
+        f"({result.replayed} trace-replayed)"
     )
     print(
         f"memory: L2 miss {result.l2_miss_rate:.1%}, "
@@ -322,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", action="store_true", help="also compute the CPU-only baseline"
     )
     p_run.add_argument("--seed", type=int, default=0, help="reproducibility seed (echoed)")
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative entries",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_area = sub.add_parser("area", help="area breakdown (Figure 6 style)")
@@ -440,6 +469,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--export-json", default=None, help="write the SLO report JSON here")
     p_serve.add_argument("--export-csv", default=None, help="write per-request CSV here")
+    p_serve.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="force every request down the per-macro-op recording path "
+        "(skip the trace record/replay fast path)",
+    )
+    p_serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative entries",
+    )
     p_serve.set_defaults(func=cmd_serve, parser=p_serve)
 
     return parser

@@ -272,12 +272,20 @@ def _serving_metrics(config: GemminiConfig, spec: EvaluationSpec, fmax: float, p
     (larger/denser) design sees proportionally more arrival cycles between
     requests — tail latency and goodput trade off against area and power
     exactly the way the serving objectives need.
+
+    Serving evaluations ride the macro-op trace record/replay fast path:
+    after the first executions of each ``(tile, model)`` pair the remaining
+    requests replay a recorded stream, which is what makes per-design-point
+    traffic simulation affordable inside a search loop (``gemmini-repro dse
+    --traffic ...``).
     """
     from dataclasses import replace as dc_replace
 
     from repro.serve.cluster import simulate_serving
 
-    result = simulate_serving(spec.traffic, gemmini=dc_replace(config, clock_ghz=fmax))
+    result = simulate_serving(
+        spec.traffic, gemmini=dc_replace(config, clock_ghz=fmax), replay=True
+    )
     overall = result.report.overall
     watts = power / 1e3
     return {

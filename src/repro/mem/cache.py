@@ -135,6 +135,117 @@ class Cache:
         __, port_end = self.port.transfer(now + cfg.hit_latency, nbytes)
         return max(port_end, lower_end)
 
+    def access_batch(self, now, addr, nbytes, is_write, requester: str = ""):
+        """Perform a whole FCFS sequence of accesses; returns end times.
+
+        Aggregate-equivalent to calling :meth:`access` in a loop: the LRU
+        sets evolve through the identical hit/miss/evict decisions (same
+        python structures, so mixing scalar and batched access is safe), the
+        lower level sees the same requests in the same order (batched when
+        it exposes ``access_batch``), and counters land in one aggregated
+        add per name.  Port and lower-level end times match the scalar loop
+        up to float association (see ``Timeline.book_batch``).
+        """
+        import numpy as np
+
+        now = np.asarray(now, dtype=np.float64)
+        addr = np.asarray(addr, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        n = now.size
+        if n == 0:
+            return now
+        if int(nbytes.min()) <= 0:
+            raise ValueError("batched cache accesses must move at least one byte")
+        cfg = self.config
+        line = self._line
+        num_sets = self._num_sets
+        ways_limit = self._ways
+        sets = self._sets
+        first = (addr // line).tolist()
+        last = ((addr + nbytes - 1) // line).tolist()
+        writes_list = is_write.tolist()
+        now_list = now.tolist()
+
+        hits = 0
+        misses = 0
+        evictions = 0
+        writebacks = 0
+        writeback_enabled = cfg.writeback
+        # Lower-level requests (earliest, addr, is_write, owner), in exactly
+        # the order the scalar loop would issue them; ``owner`` maps each
+        # back to its originating access.
+        low: list[tuple] = []
+        low_append = low.append
+
+        for i, (t, w, lo, hi) in enumerate(zip(now_list, writes_list, first, last)):
+            for index in range(lo, hi + 1):
+                set_index = index % num_sets
+                ways = sets[set_index]
+                tag = index // num_sets
+                if tag in ways:
+                    hits += 1
+                    ways.move_to_end(tag)
+                    if w:
+                        ways[tag] = True
+                else:
+                    misses += 1
+                    if len(ways) >= ways_limit:
+                        victim_tag, victim_dirty = ways.popitem(last=False)
+                        evictions += 1
+                        if victim_dirty and writeback_enabled:
+                            writebacks += 1
+                            low_append((t, (victim_tag * num_sets + set_index) * line, True, i))
+                    low_append((t, index * line, False, i))
+                    ways[tag] = w
+
+        lower_end = now.copy()
+        if low:
+            low_earliest, low_addr, low_write, low_owner = zip(*low)
+            nlines = np.full(len(low), line, dtype=np.int64)
+            if hasattr(self.lower, "access_batch"):
+                low_ends = self.lower.access_batch(
+                    np.asarray(low_earliest), np.asarray(low_addr), nlines, np.asarray(low_write)
+                )
+            else:
+                low_ends = np.asarray(
+                    [
+                        self.lower.access(t, a, line, w)
+                        for t, a, w in zip(low_earliest, low_addr, low_write)
+                    ]
+                )
+            # Per-access completion of the last lower request: owners are
+            # nondecreasing, so a segment-max (reduceat) replaces the very
+            # slow np.maximum.at scatter.
+            owners = np.asarray(low_owner, dtype=np.int64)
+            starts = np.empty(0, dtype=np.int64)
+            if owners.size:
+                starts = np.nonzero(np.diff(owners))[0] + 1
+                starts = np.concatenate(([0], starts))
+            seg_max = np.maximum.reduceat(low_ends, starts)
+            idx = owners[starts]
+            lower_end[idx] = np.maximum(lower_end[idx], seg_max)
+
+        stats = self.stats
+        stats.counter("hits").add(hits)
+        stats.counter("misses").add(misses)
+        stats.counter("accesses").add(hits + misses)
+        n_writes = int(is_write.sum())
+        if n_writes:
+            stats.counter("writes").add(n_writes)
+        if n - n_writes:
+            stats.counter("reads").add(n - n_writes)
+        if evictions:
+            stats.counter("evictions").add(evictions)
+        if writebacks:
+            stats.counter("writebacks").add(writebacks)
+        if requester:
+            stats.counter(f"hits_{requester}").add(hits)
+            stats.counter(f"misses_{requester}").add(misses)
+
+        port_end = self.port.transfer_batch(now + cfg.hit_latency, nbytes)
+        return np.maximum(port_end, lower_end)
+
     # ------------------------------------------------------------------ #
     # Inspection / maintenance                                            #
     # ------------------------------------------------------------------ #

@@ -219,6 +219,130 @@ class TranslationSystem:
         self.shared.fill(vpn)
         return TranslationResult(walk_end, "walk", vpn)
 
+    def translate_batch(self, now, vpns, is_write):
+        """Translate a whole request sequence; returns the end times.
+
+        Aggregate-equivalent to calling :meth:`translate_vpn` in a loop: the
+        TLB/filter state walks through the identical lookups and fills, the
+        (possibly shared) PTW sees the same bookings in the same order, the
+        miss-rate window records every outcome, and counters are added once
+        per name.  The python loop stays, but it is lean — all the per-call
+        stats traffic of the scalar path is hoisted out, which is what makes
+        batched replay re-resolution cheap.
+        """
+        import numpy as np
+
+        now = np.asarray(now, dtype=np.float64)
+        vpn_list = np.asarray(vpns, dtype=np.int64).tolist()
+        write_list = np.asarray(is_write, dtype=bool).tolist()
+        if not vpn_list:
+            return now
+        cfg = self.config
+        filters = self.filters
+        private = self.private
+        shared = self.shared
+        shared_entries = cfg.shared_entries
+        private_hit_latency = cfg.private_hit_latency
+        shared_latency = cfg.shared_hit_latency if shared_entries else 0.0
+        last_vpn = self._last_vpn
+        # Miss-window outcomes, folded into runs of equal polarity: weighted
+        # records split at window boundaries exactly like per-event records,
+        # so the emitted rate series carries identical values (only the
+        # emission timestamps coarsen to the run's last event).
+        run_positive = False
+        run_weight = 0
+        run_t = 0.0
+
+        def miss_record(t, positive):
+            nonlocal run_positive, run_weight, run_t
+            if run_weight and positive is not run_positive:
+                self.miss_window.record(run_t, run_positive, weight=run_weight)
+                run_weight = 0
+            run_positive = positive
+            run_weight += 1
+            run_t = t
+
+        n_write = n_consec_r = n_consec_w = n_same_r = n_same_w = 0
+        n_filter = n_priv_hit = n_priv_miss = n_shared_hit = n_shared_miss = n_walk = 0
+        last_r = last_vpn[False]
+        last_w = last_vpn[True]
+        private_lru = private._lru
+        move_private = private_lru.move_to_end
+        ends = now.tolist()
+        for i, (vpn, w, t) in enumerate(zip(vpn_list, write_list, ends)):
+            if w:
+                n_write += 1
+                if last_w is not None:
+                    n_consec_w += 1
+                    if last_w == vpn:
+                        n_same_w += 1
+                last_w = vpn
+            else:
+                if last_r is not None:
+                    n_consec_r += 1
+                    if last_r == vpn:
+                        n_same_r += 1
+                last_r = vpn
+
+            if filters is not None:
+                if filters.check(vpn, w):
+                    n_filter += 1
+                    miss_record(t, False)
+                    continue
+                filters.update(vpn, w)
+
+            if vpn in private_lru:
+                move_private(vpn)
+                n_priv_hit += 1
+                miss_record(t, False)
+                ends[i] = t + private_hit_latency
+                continue
+
+            n_priv_miss += 1
+            miss_record(t, True)
+            after_private = t + private_hit_latency
+            if shared_entries and shared.lookup(vpn):
+                n_shared_hit += 1
+                private.fill(vpn)
+                ends[i] = after_private + shared_latency
+                continue
+            if shared_entries:
+                n_shared_miss += 1
+            n_walk += 1
+            if self.page_table is not None:
+                self.page_table.walk(vpn)
+            __, walk_end = self.ptw.book(after_private + shared_latency, cfg.walk_latency)
+            private.fill(vpn)
+            shared.fill(vpn)
+            ends[i] = walk_end
+        last_vpn[False] = last_r
+        last_vpn[True] = last_w
+        counts = {
+            "requests": len(vpn_list),
+            "write_requests": n_write,
+            "consecutive_read": n_consec_r,
+            "consecutive_write": n_consec_w,
+            "consecutive_same_read": n_same_r,
+            "consecutive_same_write": n_same_w,
+            "filter_hits": n_filter,
+            "private_hits": n_priv_hit,
+            "private_misses": n_priv_miss,
+            "shared_hits": n_shared_hit,
+            "shared_misses": n_shared_miss,
+            "walks": n_walk,
+        }
+
+        if run_weight:
+            self.miss_window.record(run_t, run_positive, weight=run_weight)
+        stats = self.stats
+        for name, value in counts.items():
+            if value or name == "requests":
+                stats.counter(name).add(value)
+        reads = counts["requests"] - counts["write_requests"]
+        if reads:
+            stats.counter("read_requests").add(reads)
+        return np.asarray(ends, dtype=np.float64)
+
     # ------------------------------------------------------------------ #
 
     def flush(self) -> None:

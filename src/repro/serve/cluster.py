@@ -30,11 +30,20 @@ from repro.serve.request import ModelKey, Request, RequestRecord
 from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.workload import TenantSpec, TrafficProfile, make_source, requests_for
 from repro.sim.engine import lockstep_merge
+from repro.sim.trace import SEGMENT_OPS, TraceRecorder, record_steady_state_trace
 from repro.soc.os_model import OSConfig
 from repro.soc.soc import SoC, SoCConfig
 from repro.sw.runtime import Runtime
 
 __all__ = ["ServeResult", "ServingSimulation", "simulate_serving", "estimate_service_cycles"]
+
+#: Analytic service-cycle estimates keyed by (model, input_hw, seq, config).
+#: The estimate rebuilds the model graph and walks every layer's closed-form
+#: cost — far too much work to redo for every request of every tenant (the
+#: SJF policy consumes it on the dispatch hot path, and every DSE serving
+#: evaluation re-enters with a fresh simulation).  Per-process, bounded by
+#: the number of distinct (workload, design-point) pairs a run touches.
+_SERVICE_CYCLES_MEMO: dict[tuple, float] = {}
 
 
 def estimate_service_cycles(spec: TenantSpec, config: GemminiConfig) -> float:
@@ -42,8 +51,14 @@ def estimate_service_cycles(spec: TenantSpec, config: GemminiConfig) -> float:
 
     Uses the compiler's im2col lowering plus the closed-form spatial-array
     cost model — the same estimate the DSE analytic fidelity scores designs
-    with — so SJF scheduling needs no profiling run.
+    with — so SJF scheduling needs no profiling run.  Memoized per
+    ``(tenant workload, config)`` (the dataflow is derived from the config).
     """
+    key = (spec.model, spec.input_hw, spec.seq, config)
+    cached = _SERVICE_CYCLES_MEMO.get(key)
+    if cached is not None:
+        return cached
+
     from repro.core.config import Dataflow
     from repro.core.spatial_array import SpatialArrayModel
     from repro.dse.objectives import model_workload
@@ -51,7 +66,9 @@ def estimate_service_cycles(spec: TenantSpec, config: GemminiConfig) -> float:
     workload = model_workload(spec.model, input_hw=spec.input_hw, seq=spec.seq)
     model = SpatialArrayModel(config)
     dataflow = Dataflow.WS if config.dataflow is Dataflow.BOTH else config.dataflow
-    return float(sum(model.matmul_cost(m, k, n, dataflow).total for m, k, n in workload.shapes))
+    cycles = float(sum(model.matmul_cost(m, k, n, dataflow).total for m, k, n in workload.shapes))
+    _SERVICE_CYCLES_MEMO[key] = cycles
+    return cycles
 
 
 @dataclass
@@ -67,18 +84,47 @@ class ServeResult:
     dropped: dict[str, int] = field(default_factory=dict)
     l2_miss_rate: float = 0.0
     dram_bytes: int = 0
+    #: requests served from a macro-op trace replay (0 with ``replay=False``)
+    replayed: int = 0
 
     @property
     def completed(self) -> int:
         return len(self.records)
 
 
+@dataclass
+class _TraceSlot:
+    """Replay state of one ``(tile, model)`` pair.
+
+    ``trace`` is None until the pair is trusted for replay; until then
+    ``last_clean_fp`` carries the fingerprint of the most recent clean
+    (uncontended) recording, waiting for a second identical one.
+    """
+
+    trace: object | None = None
+    last_clean_fp: bytes | None = None
+
+
 class ServingSimulation:
-    """Bind one traffic profile to one SoC configuration and run it."""
+    """Bind one traffic profile to one SoC configuration and run it.
+
+    By default requests are served through the macro-op trace record/replay
+    fast path: the first executions of each ``(tile, model)`` pair run the
+    per-macro-op generator while a :class:`~repro.sim.trace.TraceRecorder`
+    captures the stream, and once a trusted trace exists (two consecutive
+    uncontended recordings with identical fingerprints, or a sandboxed
+    steady-state recording when the cluster is saturated) every later
+    request replays it — uncontended segments as pure clock arithmetic,
+    contended segments re-resolved against the live shared L2/DRAM/TLB via
+    the batched memory-model entry points.  ``replay=False`` forces every
+    request down the recording (full-fidelity) path.
+    """
 
     #: idle re-check interval while waiting on another tile's completion
     #: (closed-loop arrivals) — bounds how stale an idle tile's view can get
     idle_quantum: float = 50_000.0
+    #: macro-ops per replay segment (contention granularity of the fast path)
+    trace_segment_ops: int = SEGMENT_OPS
 
     def __init__(
         self,
@@ -88,6 +134,7 @@ class ServingSimulation:
         os: OSConfig | None = None,
         scheduler: Scheduler | None = None,
         scheduler_options: dict | None = None,
+        replay: bool = True,
     ) -> None:
         from repro.core.config import default_config
 
@@ -114,6 +161,15 @@ class ServingSimulation:
         self._compiled: dict[ModelKey, object] = {}
         self._runtimes: dict[tuple[int, ModelKey], Runtime] = {}
         self._cost_hints: dict[str, float] = {}
+        # Trace replay is gated on every tile being replay-safe (the OS
+        # time-slice model injects absolute-time-dependent context switches
+        # that a shifted replay cannot reproduce).
+        self.replay = replay and all(t.trace_replay_safe for t in self.soc.tiles)
+        self._traces: dict[tuple[int, ModelKey], _TraceSlot] = {}
+        self._replayed = 0
+        #: last ModelKey each tile executed — a different model in between
+        #: invalidates the steady-state assumption a trace is recorded under
+        self._tile_last_model: dict[int, ModelKey] = {}
         horizon = profile.horizon_ms
         self._horizon = horizon * self.clock_ghz * 1e6 if horizon is not None else None
 
@@ -148,6 +204,47 @@ class ServingSimulation:
         return self._cost_hints[spec.name]
 
     # ------------------------------------------------------------------ #
+    # Trace record/replay                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _trace_slot(self, tile_index: int, key: ModelKey) -> _TraceSlot:
+        slot = self._traces.get((tile_index, key))
+        if slot is None:
+            slot = self._traces[(tile_index, key)] = _TraceSlot()
+        return slot
+
+    def _contended(self) -> bool:
+        """True while any *other* tile has a request in flight (the caller's
+        own request is always counted in ``_inflight``)."""
+        return self._inflight > 1
+
+    def _finish_recording(self, slot: _TraceSlot, recorder: TraceRecorder, runtime: Runtime) -> None:
+        """Decide whether the just-completed recording yields a usable trace.
+
+        A clean (uncontended) recording becomes the trace once a second
+        consecutive clean run fingerprints identically — from then on replay
+        is bitwise-indistinguishable from the generator.  A contended
+        recording can never converge that way, so the first one triggers a
+        sandboxed steady-state recording instead (isolated memory system,
+        same address streams); its replays carry the documented contention
+        tolerance rather than a bitwise guarantee.
+        """
+        if recorder.dirty:
+            slot.trace = record_steady_state_trace(
+                runtime,
+                self.soc.config.mem,
+                self.soc.config.os,
+                segment_ops=self.trace_segment_ops,
+                warm_from=recorder.build_trace(),
+            )
+            return
+        trace = recorder.build_trace()
+        if slot.last_clean_fp is not None and slot.last_clean_fp == trace.fingerprint:
+            slot.trace = trace
+        else:
+            slot.last_clean_fp = trace.fingerprint
+
+    # ------------------------------------------------------------------ #
     # Simulation                                                           #
     # ------------------------------------------------------------------ #
 
@@ -155,6 +252,7 @@ class ServingSimulation:
         profile = self.profile
         self._records: list[RequestRecord] = []
         self._inflight = 0
+        self._replayed = 0
         self._arrivals: list[tuple[float, int, Request]] = []  # (time, seq, request)
         self._arrival_seq = 0
         self._sources = {}
@@ -192,6 +290,7 @@ class ServingSimulation:
             dropped=dropped,
             l2_miss_rate=self.soc.l2_miss_rate(),
             dram_bytes=self.soc.mem.dram.bytes_moved,
+            replayed=self._replayed,
         )
 
     # -- request plumbing ----------------------------------------------- #
@@ -287,14 +386,36 @@ class ServingSimulation:
             start = max(clock, request.arrival)
             controller.advance_to(start)
             runtime = self._runtime(tile_index, request.model_key)
+            slot = self._trace_slot(tile_index, request.model_key) if self.replay else None
+            recorder = None
+            # A *different* model ran on this tile since the last request of
+            # this pair: the tile-local and shared state no longer match the
+            # steady state a trace assumes.  Such a run can neither serve as
+            # a clean recording nor replay by pure offset arithmetic — it
+            # re-resolves every macro-op against live state instead.
+            prev_model = self._tile_last_model.get(tile_index)
+            stale = prev_model is not None and prev_model != request.model_key
+            self._tile_last_model[tile_index] = request.model_key
+            if slot is not None and slot.trace is not None:
+                probe = (lambda: True) if stale else self._contended
+                stream = slot.trace.replay(tile, start, contended=probe)
+                self._replayed += 1
+            elif slot is not None:
+                recorder = TraceRecorder(runtime, segment_ops=self.trace_segment_ops)
+                recorder.dirty = stale
+                stream = recorder.record(dirty_probe=self._contended)
+            else:
+                stream = runtime.run_generator()
             self._inflight += 1
             finish = start
-            for t in runtime.run_generator():
+            for t in stream:
                 finish = t
                 if t > clock:
                     clock = t
                 yield clock
             self._inflight -= 1
+            if recorder is not None:
+                self._finish_recording(slot, recorder, runtime)
             record = RequestRecord(
                 tenant=request.tenant,
                 index=request.index,
@@ -318,13 +439,23 @@ def simulate_serving(
     mem: MemorySystemConfig | None = None,
     os: OSConfig | None = None,
     scheduler_options: dict | None = None,
+    replay: bool = True,
 ) -> ServeResult:
     """One-shot convenience: build the cluster, run the traffic, report.
+
+    ``replay=False`` forces every request down the per-macro-op recording
+    path (the pre-trace behaviour) — the baseline the replay benchmarks and
+    parity tests compare against.
 
     Module-level and pure-data in/out, so it can ship through
     :class:`~repro.eval.runner.ExperimentRunner` workers and its results
     land in the content-hash cache.
     """
     return ServingSimulation(
-        profile, gemmini=gemmini, mem=mem, os=os, scheduler_options=scheduler_options
+        profile,
+        gemmini=gemmini,
+        mem=mem,
+        os=os,
+        scheduler_options=scheduler_options,
+        replay=replay,
     ).run()

@@ -13,6 +13,11 @@ from repro.sim.timeline import BandwidthTimeline, Timeline
 from repro.sim.stats import Counter, Histogram, RateWindow, StatsRegistry, TimeSeries
 from repro.sim.engine import lockstep_merge
 
+# NOTE: repro.sim.trace (macro-op record/replay) is intentionally not
+# re-exported here — it sits *above* the runtime stack (it imports
+# repro.sw.runtime), while this package init is imported by the lowest-level
+# memory models.  Import it as ``from repro.sim.trace import MacroTrace``.
+
 __all__ = [
     "BandwidthTimeline",
     "Timeline",

@@ -63,6 +63,17 @@ class SoCTile:
         self.host = host
         self.os = os_model
 
+    @property
+    def trace_replay_safe(self) -> bool:
+        """True when macro-op trace replay can reproduce this tile's runs.
+
+        The OS time-slice model injects context switches (and TLB flushes)
+        at absolute quantum boundaries, so a trace recorded at one start
+        time is not valid shifted to another; tiles running the OS model
+        must stay on the per-macro-op generator path.
+        """
+        return not self.os.config.enabled
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SoCTile({self.index}, cpu={self.cpu.name})"
 

@@ -51,6 +51,8 @@ class RunResult:
     total_cycles: float
     layers: list[LayerStats] = field(default_factory=list)
     macro_ops: int = 0
+    #: lazily built name -> LayerStats index backing :meth:`layer`
+    _layer_index: dict | None = field(default=None, init=False, repr=False, compare=False)
 
     def fps(self, clock_ghz: float = 1.0) -> float:
         if self.total_cycles <= 0:
@@ -67,10 +69,26 @@ class RunResult:
         return sum(layer.cpu_cycles for layer in self.layers)
 
     def layer(self, name: str) -> LayerStats:
-        for layer in self.layers:
-            if layer.name == name:
-                return layer
-        raise KeyError(name)
+        """Look up one layer's stats by name (O(1) after the first call).
+
+        Duplicate layer names raise instead of silently shadowing: a linear
+        scan would always return the first match, hiding the later layer's
+        stats from every caller.
+        """
+        if self._layer_index is None or len(self._layer_index) != len(self.layers):
+            index: dict[str, LayerStats] = {}
+            for layer in self.layers:
+                if layer.name in index:
+                    raise ValueError(
+                        f"duplicate layer name {layer.name!r} in run result; "
+                        "per-name lookup would silently shadow one of them"
+                    )
+                index[layer.name] = layer
+            self._layer_index = index
+        try:
+            return self._layer_index[name]
+        except KeyError:
+            raise KeyError(name) from None
 
 
 class Runtime:
@@ -82,6 +100,7 @@ class Runtime:
         model: CompiledModel,
         use_accel_im2col: bool | None = None,
         sync_per_layer: bool = False,
+        share_allocations_from: "Runtime | None" = None,
     ) -> None:
         self.tile = tile
         self.model = model
@@ -97,7 +116,17 @@ class Runtime:
         self.sync_per_layer = sync_per_layer
         self.addresses: dict[str, int] = {}
         self._im2col_vaddr: int | None = None
-        self._allocate()
+        if share_allocations_from is not None:
+            # Re-bind an already-allocated model to another tile view of the
+            # *same* virtual address space (the trace sandbox runs the model
+            # against an isolated memory system but must produce the exact
+            # DMA address streams of the original runtime).
+            if share_allocations_from.model is not model:
+                raise ValueError("can only share allocations for the same compiled model")
+            self.addresses = share_allocations_from.addresses
+            self._im2col_vaddr = share_allocations_from._im2col_vaddr
+        else:
+            self._allocate()
 
     # ------------------------------------------------------------------ #
     # Memory layout                                                        #

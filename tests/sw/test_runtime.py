@@ -182,3 +182,48 @@ class TestMultiCore:
         g0 = stats.value("hits_gemmini0") + stats.value("misses_gemmini0")
         g1 = stats.value("hits_gemmini1") + stats.value("misses_gemmini1")
         assert g0 > 0 and g1 > 0
+
+
+class TestLayerLookup:
+    def _result(self, names):
+        from repro.sw.runtime import LayerStats, RunResult
+
+        layers = [
+            LayerStats(name=n, kind="conv", placement="accel", start_time=i, end_time=i + 1)
+            for i, n in enumerate(names)
+        ]
+        return RunResult(model="m", tile="t", total_cycles=float(len(names)), layers=layers)
+
+    def test_lookup_uses_index(self):
+        result = self._result([f"layer{i}" for i in range(50)])
+        assert result.layer("layer31").start_time == 31
+        assert result._layer_index is not None  # built lazily on first call
+        assert result.layer("layer7") is result.layers[7]
+
+    def test_unknown_layer_raises_keyerror(self):
+        result = self._result(["a", "b"])
+        with pytest.raises(KeyError):
+            result.layer("ghost")
+
+    def test_duplicate_layer_names_raise(self):
+        """A linear scan would silently return the first match; the index
+        refuses to shadow."""
+        result = self._result(["conv1", "conv2", "conv1"])
+        with pytest.raises(ValueError, match="duplicate layer name"):
+            result.layer("conv2")
+
+    def test_index_rebuilds_after_layers_grow(self):
+        result = self._result(["a"])
+        assert result.layer("a").name == "a"
+        from repro.sw.runtime import LayerStats
+
+        result.layers.append(
+            LayerStats(name="b", kind="conv", placement="accel", start_time=1, end_time=2)
+        )
+        assert result.layer("b").name == "b"
+
+    def test_real_run_layers_resolve(self):
+        soc = make_soc(gemmini=CFG)
+        result = run_model_on_tile(soc.tile, compile_graph(tiny_cnn(), PARAMS))
+        for layer in result.layers:
+            assert result.layer(layer.name) is layer

@@ -165,6 +165,34 @@ class TestServe:
         assert main(args) == 0
         assert capsys.readouterr().out == first
 
+    def test_no_replay_matches_replay_for_single_tenant(self, capsys):
+        """The fast path is bitwise-identical uncontended: everything except
+        the replayed-request count must print the same."""
+        spec = "model=squeezenet,qps=200,requests=5,input_hw=32,slo_ms=5"
+        assert main(["serve", "--seed", "1", "--tenant", spec]) == 0
+        fast = capsys.readouterr().out
+        assert main(["serve", "--seed", "1", "--tenant", spec, "--no-replay"]) == 0
+        slow = capsys.readouterr().out
+        assert "(0 trace-replayed)" in slow
+        assert "(0 trace-replayed)" not in fast
+
+        def strip(text):
+            return text.replace("(2 trace-replayed)", "").replace("(0 trace-replayed)", "")
+
+        assert strip(fast) == strip(slow)
+
+    def test_serve_profile_flag_prints_hotspots(self, capsys):
+        assert main(["serve", "--tenant", self.TENANT, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cProfile: top 20 by cumulative time" in out
+        assert "cumtime" in out
+
+    def test_run_profile_flag_prints_hotspots(self, capsys):
+        assert main(["run", "squeezenet", "--input-hw", "32", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cProfile: top 20 by cumulative time" in out
+        assert "run_generator" in out
+
     def test_export_json_and_csv(self, capsys, tmp_path):
         json_path = tmp_path / "serve.json"
         csv_path = tmp_path / "serve.csv"
