@@ -19,6 +19,11 @@ Exposes the common workflows without writing Python:
 ``gemmini-repro serve``
     Drive a multi-tile SoC with multi-tenant traffic and report SLO
     metrics (tail latency, goodput, fairness, violation rates).
+    ``--design FILE`` serves on an arbitrary (heterogeneous) component
+    design instead of the homogeneous config flags.
+``gemmini-repro soc-spec``
+    Validate and pretty-print a component-based SoC design JSON file
+    (``--example`` emits a big/little starter spec).
 
 Every stochastic subcommand (``run``/``dse``/``serve``) takes one
 ``--seed`` and prints the effective seed, so any output can be reproduced
@@ -171,6 +176,50 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def _example_design_json() -> str:
+    """A runnable big/little starter spec for ``soc-spec --example``."""
+    from repro.dse.space import point_to_design
+
+    design = point_to_design({"components": (("big", 1), ("little", 2))})
+    return design.to_json()
+
+
+def cmd_soc_spec(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.soc.components import DesignError, SoCDesign
+
+    if args.example:
+        print(_example_design_json())
+        return 0
+    if not args.file:
+        args.parser.error("soc-spec needs a design JSON file (or --example)")
+    try:
+        design = SoCDesign.from_json(Path(args.file).read_text())
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, DesignError, ValueError, TypeError, KeyError) as exc:
+        print(f"invalid design: {exc}", file=sys.stderr)
+        return 1
+    print(design.describe())
+    for component in design.tile_components:
+        print(f"  tile class [{component.label}]: {component.count}x, "
+              f"hash {component.config_hash}")
+    cache = design.cache_component
+    l2 = f"{cache.l2.size_bytes // 1024} KB L2" if cache.l2 is not None else "no L2"
+    print(f"  memory: {l2}, {design.dram_component.dram.bytes_per_cycle:.0f} B/cyc DRAM")
+    print(f"  tiles: {design.num_tiles} at {design.clock_ghz} GHz")
+    print(f"  fleet area: {design.area_mm2():.2f} mm^2"
+          + (f" (budget {design.area_budget_mm2} mm^2)" if design.area_budget_mm2 else ""))
+    print(f"  fleet power: {design.power_mw():.1f} mW"
+          + (f" (budget {design.power_budget_mw} mW)" if design.power_budget_mw else ""))
+    if args.emit:
+        print(design.to_json())
+    return 0
+
+
 def _traffic_from_args(args, parser_error) -> "TrafficProfile | None":
     """Build the optional DSE traffic profile from repeated --traffic specs."""
     from repro.dse import SERVING_METRICS
@@ -232,7 +281,14 @@ def cmd_dse(args) -> int:
         fidelity=args.fidelity,
         traffic=_traffic_from_args(args, args.parser.error),
     )
-    space = gemmini_space(max_dim=args.max_dim)
+    if args.mix:
+        from repro.dse import mix_space
+
+        if args.fidelity == "soc":
+            args.parser.error("--mix searches whole fleets; only analytic fidelity")
+        space = mix_space(tuple(args.mix), max_tiles=args.mix_max_tiles)
+    else:
+        space = gemmini_space(max_dim=args.max_dim)
     batch_eval = not args.scalar_eval
     strategy_options = {}
     if batch_eval and args.fidelity == "analytic" and spec.traffic is None:
@@ -278,6 +334,19 @@ def cmd_serve(args) -> int:
         simulate_serving,
     )
 
+    design = None
+    if args.design:
+        from pathlib import Path
+
+        from repro.soc.components import SoCDesign
+
+        design = SoCDesign.from_json(Path(args.design).read_text())
+        if args.tiles not in (1, design.num_tiles):
+            args.parser.error(
+                f"--tiles {args.tiles} contradicts the design's "
+                f"{design.num_tiles} tiles (omit --tiles with --design)"
+            )
+        args.tiles = design.num_tiles
     config = _config_from_args(args)
     profile_kwargs = dict(
         num_tiles=args.tiles,
@@ -298,10 +367,16 @@ def cmd_serve(args) -> int:
         profile = TrafficProfile(tenants=tenants, **profile_kwargs)
 
     with _maybe_profile(args.profile):
-        result = simulate_serving(profile, gemmini=config, replay=not args.no_replay)
+        if design is not None:
+            result = simulate_serving(profile, design=design, replay=not args.no_replay)
+        else:
+            result = simulate_serving(profile, gemmini=config, replay=not args.no_replay)
 
     print(f"seed: {profile.seed}")
-    print(f"config: {config.describe()}")
+    if design is not None:
+        print(f"design: {design.describe()}")
+    else:
+        print(f"config: {config.describe()}")
     print(serve_table(result))
     report = result.report
     print(
@@ -361,6 +436,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1 = sub.add_parser("table1", help="print the Table I matrix")
     p_table1.set_defaults(func=cmd_table1)
 
+    p_spec = sub.add_parser(
+        "soc-spec", help="validate and pretty-print a component SoC design JSON"
+    )
+    p_spec.add_argument("file", nargs="?", default=None, help="design JSON file")
+    p_spec.add_argument(
+        "--example",
+        action="store_true",
+        help="print a runnable big/little starter design instead of reading a file",
+    )
+    p_spec.add_argument(
+        "--emit",
+        action="store_true",
+        help="also echo the validated design back as canonical JSON",
+    )
+    p_spec.set_defaults(func=cmd_soc_spec, parser=p_spec)
+
     p_dse = sub.add_parser("dse", help="search the design space (Pareto optimisation)")
     p_dse.add_argument(
         "--strategy",
@@ -391,6 +482,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="feasibility bound, e.g. area_mm2<=2 or fmax_ghz>=1 (repeatable)",
     )
     p_dse.add_argument("--max-dim", type=int, default=32, help="largest PE-grid edge in the space")
+    p_dse.add_argument(
+        "--mix",
+        action="append",
+        default=[],
+        metavar="PRESET",
+        help="search heterogeneous tile fleets over these presets "
+        "(big | medium | little; repeatable) instead of single-accelerator "
+        "geometry — points become whole SoC designs",
+    )
+    p_dse.add_argument(
+        "--mix-max-tiles", type=int, default=4, help="--mix: most tiles in a fleet"
+    )
     p_dse.add_argument(
         "--fidelity",
         choices=("analytic", "soc"),
@@ -452,6 +555,13 @@ def build_parser() -> argparse.ArgumentParser:
         "arrival kinds: poisson | bursty | closed (trace replay via --trace FILE)",
     )
     p_serve.add_argument("--trace", default=None, help="JSON request trace to replay")
+    p_serve.add_argument(
+        "--design",
+        default=None,
+        metavar="FILE",
+        help="serve on this component-based SoC design JSON (see soc-spec "
+        "--example) instead of the homogeneous --dim/--sp-kb/... flags",
+    )
     p_serve.add_argument("--tiles", type=int, default=1, help="SoC tiles in the cluster")
     p_serve.add_argument(
         "--scheduler",

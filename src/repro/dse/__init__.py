@@ -17,7 +17,12 @@ from repro.dse.engine import (
     default_cache_dir,
     shared_hypervolume,
 )
-from repro.dse.batch import ConfigColumns, UnsupportedPoint, build_columns
+from repro.dse.batch import (
+    ConfigColumns,
+    UnsupportedPoint,
+    build_columns,
+    group_by_components,
+)
 from repro.dse.export import export_csv, export_json, front_table, result_to_dict
 from repro.dse.objectives import (
     OBJECTIVES,
@@ -45,17 +50,22 @@ from repro.dse.pareto import (
     split_front,
 )
 from repro.dse.space import (
+    COMPONENTS_KEY,
+    TILE_PRESETS,
     Axis,
     Boolean,
     Categorical,
+    ComponentAxis,
     Constraint,
     LogRange,
     ParamSpace,
     SpaceError,
     gemmini_space,
+    mix_space,
     point_key,
     point_label,
     point_to_config,
+    point_to_design,
 )
 from repro.dse.strategies import (
     STRATEGIES,
@@ -89,6 +99,7 @@ __all__ = [
     "ConfigColumns",
     "UnsupportedPoint",
     "build_columns",
+    "group_by_components",
     "MetricBound",
     "crowding_distance",
     "dominates",
@@ -102,14 +113,19 @@ __all__ = [
     "Axis",
     "Boolean",
     "Categorical",
+    "COMPONENTS_KEY",
+    "ComponentAxis",
     "Constraint",
     "LogRange",
     "ParamSpace",
     "SpaceError",
+    "TILE_PRESETS",
     "gemmini_space",
+    "mix_space",
     "point_key",
     "point_label",
     "point_to_config",
+    "point_to_design",
     "STRATEGIES",
     "AnnealingSearch",
     "EvolutionarySearch",

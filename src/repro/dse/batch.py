@@ -31,11 +31,36 @@ import numpy as np
 from repro.core.config import Dataflow
 from repro.dse.space import point_to_config
 
-__all__ = ["ConfigColumns", "UnsupportedPoint", "SUPPORTED_KEYS", "build_columns"]
+__all__ = [
+    "ConfigColumns",
+    "UnsupportedPoint",
+    "SUPPORTED_KEYS",
+    "build_columns",
+    "group_by_components",
+]
 
 
 class UnsupportedPoint(Exception):
     """A point uses keys the column layout cannot represent (scalar path)."""
+
+
+def group_by_components(points: list[dict]) -> dict:
+    """Group point indices by their component signature (the structural mix).
+
+    Points without a ``components`` axis land under the ``None`` key — they
+    are single-accelerator points and columnise directly.  Points sharing a
+    mix signature share their per-preset sub-configs, so the batched
+    evaluator scores each unique tile class once per group instead of once
+    per fleet (the structural analogue of the struct-of-arrays fast path).
+    """
+    from repro.dse.space import COMPONENTS_KEY
+
+    groups: dict = {}
+    for index, point in enumerate(points):
+        mix = point.get(COMPONENTS_KEY)
+        key = None if mix is None else tuple(mix)
+        groups.setdefault(key, []).append(index)
+    return groups
 
 
 #: Point keys the batched evaluator understands (the gemmini_space axes).

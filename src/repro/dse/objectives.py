@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import Dataflow, GemminiConfig
 from repro.core.spatial_array import SpatialArrayModel
-from repro.dse.space import point_to_config
+from repro.dse.space import COMPONENTS_KEY, TILE_PRESETS, point_to_config
 from repro.physical.area import accelerator_area
 from repro.physical.energy import estimate_energy
 from repro.physical.power import power_mw
@@ -299,9 +299,14 @@ def _serving_metrics(config: GemminiConfig, spec: EvaluationSpec, fmax: float, p
 def evaluate_design(point: dict, spec: EvaluationSpec) -> Evaluation:
     """Score one point: the cost model every strategy optimises against.
 
-    Module-level so :class:`~repro.eval.runner.ExperimentRunner` can ship
-    it to worker processes and cache results under a stable key.
+    Points carrying the structural ``components`` axis describe whole
+    heterogeneous fleets; they are scored per tile class and aggregated
+    (see :func:`_aggregate_fleet`).  Module-level so
+    :class:`~repro.eval.runner.ExperimentRunner` can ship it to worker
+    processes and cache results under a stable key.
     """
+    if COMPONENTS_KEY in point:
+        return _evaluate_structural(point, spec)
     config = point_to_config(point)
     fmax = max_frequency_ghz(config)
     area_um2 = accelerator_area(config, cpu=spec.cpu).total
@@ -344,6 +349,122 @@ def evaluate_design(point: dict, spec: EvaluationSpec) -> Evaluation:
     )
 
 
+# ---------------------------------------------------------------------- #
+# Structural (component-mix) evaluation                                    #
+# ---------------------------------------------------------------------- #
+
+
+def _structural_rows(point: dict) -> "list[tuple[str, int, dict]]":
+    """Split a structural point into per-tile-class sub-rows.
+
+    Each mix entry becomes one plain (``point_to_config``-able) row: the
+    preset's geometry overlaid by the point's shared axes — the same
+    overlay :func:`~repro.dse.space.point_to_design` applies when
+    materialising the fleet.
+    """
+    rest = {k: v for k, v in point.items() if k != COMPONENTS_KEY}
+    return [
+        (preset, count, {**TILE_PRESETS[preset], **rest})
+        for preset, count in point[COMPONENTS_KEY]
+    ]
+
+
+def _component_spec(spec: EvaluationSpec) -> EvaluationSpec:
+    """The per-tile-class sub-spec: the same workload without the traffic
+    profile (serving is scored at fleet level, not per component)."""
+    if spec.traffic is None:
+        return spec
+    return EvaluationSpec(workload=spec.workload, fidelity=spec.fidelity, cpu=spec.cpu)
+
+
+def _structural_serving_metrics(
+    point: dict, spec: EvaluationSpec, fmax: float, fleet_power: float
+) -> dict:
+    """Serve the spec's traffic on the materialised heterogeneous fleet.
+
+    The whole fleet runs at the shared achievable clock (``fmax``, the
+    slowest component's) and every request is free to land on any tile, so
+    SJF's per-tile cost oracle — not a single global hint — decides big
+    vs little placement.
+    """
+    from repro.dse.space import point_to_design
+    from repro.serve.cluster import simulate_serving
+
+    design = point_to_design(point, clock_ghz=fmax)
+    result = simulate_serving(spec.traffic, design=design, replay=True)
+    overall = result.report.overall
+    watts = fleet_power / 1e3
+    return {
+        "p99_latency_ms": overall.p99_ms,
+        "goodput_qps": overall.goodput_qps,
+        "qps_per_watt": overall.goodput_qps / watts if watts > 0 else 0.0,
+        "slo_violation_rate": overall.slo_violation_rate,
+    }
+
+
+def _aggregate_fleet(
+    point: dict, parts: "list[tuple[str, int, Evaluation]]", spec: EvaluationSpec
+) -> Evaluation:
+    """Combine per-tile-class evaluations into one fleet evaluation.
+
+    Pure arithmetic over the component metrics — shared verbatim by the
+    scalar and batched paths, so structural evaluations stay bitwise
+    consistent between them.  The model: one shared clock domain at the
+    slowest component's fmax; the workload's latency is the fastest
+    component's (a single inference runs on one tile); area and power sum
+    over the fleet (power linearly re-clocked to the shared frequency);
+    throughput assumes every tile streams the workload concurrently.
+    """
+    fmax = min(evaluation.metric("fmax_ghz") for __, __, evaluation in parts)
+    # stable min: ties resolve to the first (mix-order) component
+    best = min(parts, key=lambda part: part[2].metric("cycles"))
+    cycles = best[2].metric("cycles")
+    seconds = cycles / (fmax * 1e9)
+    latency_ms = seconds * 1e3
+    area_mm2 = sum(count * e.metric("area_mm2") for __, count, e in parts)
+    power = sum(
+        count * e.metric("power_mw") * (fmax / e.metric("fmax_ghz"))
+        for __, count, e in parts
+    )
+    energy_mj = best[2].metric("energy_mj")
+    total_macs = spec.workload.total_macs
+    throughput = (
+        sum(
+            count * total_macs * (fmax * 1e9) / e.metric("cycles")
+            for __, count, e in parts
+        )
+        / 1e9
+    )
+    metrics = {
+        "cycles": cycles,
+        "latency_ms": latency_ms,
+        "area_mm2": area_mm2,
+        "power_mw": power,
+        "energy_mj": energy_mj,
+        "fmax_ghz": fmax,
+        "throughput_gmacs": throughput,
+        "edp": energy_mj * latency_ms,
+    }
+    if spec.traffic is not None:
+        metrics.update(_structural_serving_metrics(point, spec, fmax, power))
+    summary = " + ".join(f"{count}x[{e.config_summary}]" for __, count, e in parts)
+    return Evaluation(
+        point=tuple(sorted(point.items())),
+        config_summary=summary,
+        metrics=tuple(sorted(metrics.items())),
+    )
+
+
+def _evaluate_structural(point: dict, spec: EvaluationSpec) -> Evaluation:
+    """Scalar-path structural evaluation: score each tile class, aggregate."""
+    sub_spec = _component_spec(spec)
+    parts = [
+        (preset, count, evaluate_design(row, sub_spec))
+        for preset, count, row in _structural_rows(point)
+    ]
+    return _aggregate_fleet(point, parts, spec)
+
+
 #: The 8 analytic metric names, pre-sorted (the order ``sorted(metrics
 #: .items())`` produces in :func:`evaluate_design`); the batched fast path
 #: assembles metric tuples from per-metric columns in this order.
@@ -357,6 +478,56 @@ _ANALYTIC_METRICS_SORTED: tuple[str, ...] = (
     "power_mw",
     "throughput_gmacs",
 )
+
+
+def _evaluate_batch_structural(
+    points: "list[dict]", spec: EvaluationSpec
+) -> "list[Evaluation]":
+    """Batched evaluation of a mixed plain/structural point list.
+
+    Structural points are grouped by component signature
+    (:func:`~repro.dse.batch.group_by_components`) and decomposed into
+    their per-tile-class sub-rows; the unique sub-rows — one per tile
+    class per shared-axis combination, however many fleets reference it —
+    join the plain points in a single columnised
+    :func:`evaluate_design_batch` call, and each fleet is then aggregated
+    with the same arithmetic as the scalar path.  Only reached on the
+    analytic/no-traffic fast path, so sub-rows never re-trigger the
+    structural branch (no recursion).
+    """
+    from repro.dse.batch import group_by_components
+    from repro.dse.space import point_key
+
+    groups = group_by_components(points)
+    plain_indices = groups.pop(None, [])
+    sub_rows: dict = {}  # row key -> row dict, insertion-ordered
+    per_point: dict = {}  # point index -> [(preset, count, row key), ...]
+    for indices in groups.values():
+        for index in indices:
+            keyed = []
+            for preset, count, row in _structural_rows(points[index]):
+                key = point_key(row)
+                sub_rows.setdefault(key, row)
+                keyed.append((preset, count, key))
+            per_point[index] = keyed
+
+    sub_keys = list(sub_rows)
+    combined = [points[i] for i in plain_indices] + [sub_rows[k] for k in sub_keys]
+    evaluated = evaluate_design_batch(combined, spec)
+    plain_evals = dict(zip(plain_indices, evaluated[: len(plain_indices)]))
+    row_evals = dict(zip(sub_keys, evaluated[len(plain_indices):]))
+
+    out: "list[Evaluation]" = []
+    for index, point in enumerate(points):
+        if index in plain_evals:
+            out.append(plain_evals[index])
+        else:
+            parts = [
+                (preset, count, row_evals[key])
+                for preset, count, key in per_point[index]
+            ]
+            out.append(_aggregate_fleet(point, parts, spec))
+    return out
 
 
 def evaluate_design_batch(points: "list[dict]", spec: EvaluationSpec) -> "list[Evaluation]":
@@ -390,6 +561,8 @@ def evaluate_design_batch(points: "list[dict]", spec: EvaluationSpec) -> "list[E
         return []
     if spec.fidelity != "analytic" or spec.traffic is not None:
         return [evaluate_design(p, spec) for p in points]
+    if any(COMPONENTS_KEY in p for p in points):
+        return _evaluate_batch_structural(points, spec)
     try:
         cols = build_columns(points)
     except UnsupportedPoint:

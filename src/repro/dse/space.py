@@ -29,13 +29,18 @@ __all__ = [
     "Categorical",
     "Boolean",
     "LogRange",
+    "ComponentAxis",
     "Constraint",
     "ParamSpace",
     "SpaceError",
+    "COMPONENTS_KEY",
+    "TILE_PRESETS",
     "point_key",
     "point_label",
     "point_to_config",
+    "point_to_design",
     "gemmini_space",
+    "mix_space",
 ]
 
 
@@ -90,6 +95,103 @@ def Categorical(name: str, choices: Sequence[Any]) -> Axis:
     return Axis(name, tuple(choices))
 
 
+#: The point key a structural (component-mix) axis occupies.  A point
+#: carrying this key describes a whole heterogeneous SoC, not a single
+#: accelerator config; materialise it with :func:`point_to_design`.
+COMPONENTS_KEY = "components"
+
+#: Named per-tile geometry presets the structural axis ranges over.  Each
+#: is a plain :func:`point_to_config`-able dict, so a preset composes with
+#: ordinary shared axes (a point's non-``components`` keys overlay every
+#: preset in the mix).  All presets share the template's default clock, so
+#: any mix satisfies :class:`~repro.soc.components.SoCDesign`'s
+#: single-clock-domain check.
+TILE_PRESETS: dict[str, dict] = {
+    "big": {
+        "dim": 32,
+        "tile": 1,
+        "sp_kb": 512,
+        "acc_kb": 128,
+        "sp_banks": 4,
+        "acc_banks": 2,
+        "dataflow": "WS",
+        "has_im2col": True,
+    },
+    "medium": {
+        "dim": 16,
+        "tile": 1,
+        "sp_kb": 256,
+        "acc_kb": 64,
+        "sp_banks": 4,
+        "acc_banks": 2,
+        "dataflow": "WS",
+        "has_im2col": False,
+    },
+    "little": {
+        "dim": 8,
+        "tile": 1,
+        "sp_kb": 64,
+        "acc_kb": 16,
+        "sp_banks": 2,
+        "acc_banks": 1,
+        "dataflow": "WS",
+        "has_im2col": False,
+    },
+}
+
+
+def _enumerate_mixes(
+    presets: tuple[str, ...], min_tiles: int, max_tiles: int
+) -> tuple[tuple[tuple[str, int], ...], ...]:
+    """Every tile mix over ``presets`` with a total count in range.
+
+    A mix is a canonical tuple of ``(preset, count)`` pairs in preset
+    order with every count >= 1 — two points describing the same fleet
+    always compare equal.  Enumeration order is deterministic (itertools
+    product over per-preset counts), which fixes the axis's neighbour
+    structure.
+    """
+    mixes = []
+    for counts in itertools.product(range(max_tiles + 1), repeat=len(presets)):
+        total = sum(counts)
+        if not (min_tiles <= total <= max_tiles):
+            continue
+        mixes.append(tuple((p, c) for p, c in zip(presets, counts) if c > 0))
+    return tuple(mixes)
+
+
+class ComponentAxis(Axis):
+    """Structural axis: each choice is a whole heterogeneous tile mix.
+
+    Choices are canonical ``((preset, count), ...)`` tuples enumerating
+    every fleet composition over ``presets`` with ``min_tiles`` to
+    ``max_tiles`` tiles total.  Because mixes are ordinary (hashable,
+    picklable) axis values, every :class:`ParamSpace` operator — sampling,
+    single-step mutation, exhaustive enumeration — works on heterogeneous
+    fleets unchanged, and the axis composes with per-point shared axes
+    (e.g. a ``dataflow`` axis overlaying every tile in the mix).
+    """
+
+    def __init__(
+        self,
+        name: str = COMPONENTS_KEY,
+        presets: Sequence[str] = ("big", "little"),
+        min_tiles: int = 1,
+        max_tiles: int = 4,
+    ) -> None:
+        presets = tuple(presets)
+        unknown = [p for p in presets if p not in TILE_PRESETS]
+        if unknown:
+            raise SpaceError(
+                f"unknown tile preset(s) {unknown}; known: {sorted(TILE_PRESETS)}"
+            )
+        if not presets:
+            raise SpaceError("ComponentAxis needs at least one preset")
+        if min_tiles < 1 or max_tiles < min_tiles:
+            raise SpaceError(f"bad tile-count range [{min_tiles}, {max_tiles}]")
+        super().__init__(name, _enumerate_mixes(presets, min_tiles, max_tiles))
+
+
 def Boolean(name: str) -> Axis:
     """A two-valued axis; False and True are each other's neighbours."""
     return Axis(name, (False, True))
@@ -139,6 +241,8 @@ def point_label(point: dict) -> str:
     for name, value in sorted(point.items()):
         if isinstance(value, bool):
             value = "y" if value else "n"
+        elif isinstance(value, tuple):  # a structural mix: ((preset, count), ...)
+            value = "+".join(f"{preset}*{count}" for preset, count in value)
         parts.append(f"{name}={value}")
     return ",".join(parts)
 
@@ -285,6 +389,11 @@ def point_to_config(point: dict) -> GemminiConfig:
     boundaries and hash stably into the experiment result cache.
     """
     point = dict(point)
+    if COMPONENTS_KEY in point:
+        raise SpaceError(
+            f"point carries the structural {COMPONENTS_KEY!r} axis and describes "
+            "a whole SoC, not one accelerator config; use point_to_design()"
+        )
     kwargs: dict[str, Any] = {}
     if "dim" in point:
         try:
@@ -354,4 +463,92 @@ def gemmini_space(max_dim: int = 32, dataflows: Sequence[str] = ("WS", "OS")) ->
             Constraint("memory-bank-geometry", _memory_geometry_ok),
             Constraint("accumulator-fits-block", _accumulator_fits_tile),
         ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Structural (component-mix) spaces                                       #
+# ---------------------------------------------------------------------- #
+
+
+def point_to_design(point: dict, mem=None, os=None, cpu="rocket", clock_ghz=None):
+    """Materialise a structural point into a validated SoC design.
+
+    The ``components`` value picks the tile mix; every other key overlays
+    each preset's geometry before it becomes that tile class's
+    :class:`~repro.core.config.GemminiConfig` (so a shared ``dataflow``
+    axis, say, applies fleet-wide).  ``clock_ghz`` re-clocks every tile —
+    the DSE evaluator pins the fleet at the slowest component's achievable
+    frequency.  Module-level and pure-data in, so structural evaluations
+    ship through worker processes exactly like scalar ones.
+    """
+    from repro.mem.hierarchy import MemorySystemConfig
+    from repro.soc.components import (
+        CacheComponent,
+        DRAMComponent,
+        SoCDesign,
+        TileComponent,
+    )
+    from repro.soc.os_model import OSConfig
+
+    point = dict(point)
+    try:
+        mix = point.pop(COMPONENTS_KEY)
+    except KeyError:
+        raise SpaceError(
+            f"point has no {COMPONENTS_KEY!r} axis; use point_to_config() for "
+            "single-accelerator points"
+        ) from None
+    tiles = []
+    for preset_name, count in mix:
+        try:
+            preset = dict(TILE_PRESETS[preset_name])
+        except KeyError:
+            raise SpaceError(
+                f"unknown tile preset {preset_name!r}; known: {sorted(TILE_PRESETS)}"
+            ) from None
+        preset.update(point)
+        config = point_to_config(preset)
+        if clock_ghz is not None:
+            from dataclasses import replace as dc_replace
+
+            config = dc_replace(config, clock_ghz=clock_ghz)
+        tiles.append(
+            TileComponent(
+                gemmini=config,
+                cpu=cpu,
+                os=os if os is not None else OSConfig(),
+                count=count,
+                name=preset_name,
+            )
+        )
+    mem = mem if mem is not None else MemorySystemConfig()
+    return SoCDesign(
+        components=tuple(tiles)
+        + (
+            CacheComponent(l2=mem.l2, bus_beat_bytes=mem.bus_beat_bytes),
+            DRAMComponent(dram=mem.dram),
+        ),
+        name="+".join(f"{p}*{c}" for p, c in mix),
+    )
+
+
+def mix_space(
+    presets: Sequence[str] = ("big", "little"),
+    max_tiles: int = 4,
+    min_tiles: int = 1,
+    extra_axes: Sequence[Axis] = (),
+) -> ParamSpace:
+    """A structural exploration space over heterogeneous tile fleets.
+
+    One :class:`ComponentAxis` enumerates every mix of the named
+    :data:`TILE_PRESETS` within the tile-count range; ``extra_axes`` add
+    shared per-point knobs that overlay every tile in the mix (see
+    :func:`point_to_design`).  This is the space behind ``gemmini-repro
+    dse --mix``.
+    """
+    axis = ComponentAxis(COMPONENTS_KEY, presets, min_tiles, max_tiles)
+    return ParamSpace(
+        name=f"mix[{'+'.join(presets)}]<= {max_tiles} tiles".replace(" ", ""),
+        axes=(axis,) + tuple(extra_axes),
     )

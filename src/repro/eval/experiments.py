@@ -26,7 +26,8 @@ from repro.physical.power import spatial_array_power_mw
 from repro.physical.timing import max_frequency_ghz
 from repro.sim.engine import lockstep_merge
 from repro.soc.cpu import BOOM, ROCKET
-from repro.soc.soc import SoC, SoCConfig, make_soc
+from repro.soc.components import SoCDesign
+from repro.soc.soc import SoC, make_soc
 from repro.core.generator import SoftwareParams
 from repro.sw.compiler import CompiledModel, compile_graph
 from repro.sw.cpu_reference import cpu_graph_cycles
@@ -410,7 +411,7 @@ def run_fig9(
             mem = MemorySystemConfig(
                 l2=CacheConfig(size_bytes=l2_bytes, ways=8, line_bytes=64)
             )
-            soc = SoC(SoCConfig(gemmini=gemmini, mem=mem, num_tiles=cores))
+            soc = SoC(SoCDesign.homogeneous(gemmini=gemmini, mem=mem, num_tiles=cores))
             runtimes = []
             for tile in soc.tiles:
                 compiled = _compile_for(soc, model, input_hw=input_hw)
@@ -507,7 +508,7 @@ def _model_kwargs(name: str, input_hw: int, seq: int) -> dict:
 
 def _compile_for(soc: SoC, model: str, input_hw: int = 224, seq: int = 128) -> CompiledModel:
     graph = build_model(model, **_model_kwargs(model, input_hw, seq))
-    return compile_graph(graph, SoftwareParams.from_config(soc.config.gemmini))
+    return compile_graph(graph, SoftwareParams.from_config(soc.tile.accel.config))
 
 
 def _run_once(name: str, graph, gemmini: GemminiConfig, cpu: str) -> RunResult:

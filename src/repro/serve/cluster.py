@@ -31,8 +31,9 @@ from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.workload import TenantSpec, TrafficProfile, make_source, requests_for
 from repro.sim.engine import lockstep_merge
 from repro.sim.trace import SEGMENT_OPS, TraceRecorder, record_steady_state_trace
+from repro.soc.components import SoCDesign
 from repro.soc.os_model import OSConfig
-from repro.soc.soc import SoC, SoCConfig
+from repro.soc.soc import SoC
 from repro.sw.runtime import Runtime
 
 __all__ = ["ServeResult", "ServingSimulation", "simulate_serving", "estimate_service_cycles"]
@@ -93,8 +94,8 @@ class ServeResult:
 
 
 @dataclass
-class _TraceSlot:
-    """Replay state of one ``(tile, model)`` pair.
+class _TileReplayState:
+    """Replay state of one physical tile within a trace slot.
 
     ``trace`` is None until the pair is trusted for replay; until then
     ``last_clean_fp`` carries the fingerprint of the most recent clean
@@ -103,6 +104,31 @@ class _TraceSlot:
 
     trace: object | None = None
     last_clean_fp: bytes | None = None
+
+
+@dataclass
+class _TraceSlot:
+    """Replay state of one ``(tile_config_hash, model)`` pair.
+
+    Slots are keyed by *what the tile is* (its component's config hash)
+    rather than where it sits, so a heterogeneous cluster groups replay
+    state per tile class.  The recorded :class:`~repro.sim.trace
+    .MacroTrace` objects themselves stay per physical tile: a trace embeds
+    the recording tile's virtual/physical address streams (per-asid
+    scattered address spaces) and requester identity, so replaying it on a
+    sibling tile — even one with an identical config — would fault on
+    unmapped VPNs and book shared-memory counters under the wrong
+    requester.  The shared slot therefore holds one
+    :class:`_TileReplayState` per tile index.
+    """
+
+    tiles: dict[int, _TileReplayState] = field(default_factory=dict)
+
+    def state(self, tile_index: int) -> _TileReplayState:
+        slot = self.tiles.get(tile_index)
+        if slot is None:
+            slot = self.tiles[tile_index] = _TileReplayState()
+        return slot
 
 
 class ServingSimulation:
@@ -135,20 +161,42 @@ class ServingSimulation:
         scheduler: Scheduler | None = None,
         scheduler_options: dict | None = None,
         replay: bool = True,
+        design: SoCDesign | None = None,
     ) -> None:
         from repro.core.config import default_config
 
         self.profile = profile
-        self.gemmini = gemmini or default_config()
-        self.soc = SoC(
-            SoCConfig(
-                gemmini=self.gemmini,
+        if design is not None:
+            if gemmini is not None or mem is not None or os is not None:
+                raise ValueError(
+                    "pass either design= or the homogeneous gemmini/mem/os "
+                    "knobs, not both"
+                )
+            # The profile's tile count must agree with the design; the
+            # TrafficProfile default (1) means "let the design decide".
+            if profile.num_tiles not in (1, design.num_tiles):
+                raise ValueError(
+                    f"profile expects {profile.num_tiles} tiles but the design "
+                    f"{design.name!r} has {design.num_tiles}"
+                )
+        else:
+            design = SoCDesign.homogeneous(
+                gemmini=gemmini or default_config(),
                 mem=mem or MemorySystemConfig(),
                 num_tiles=profile.num_tiles,
                 os=os or OSConfig(),
             )
-        )
-        self.clock_ghz = self.gemmini.clock_ghz
+        self.design = design
+        self.soc = SoC(design)
+        self.num_tiles = design.num_tiles
+        #: per physical tile: the component each tile was stamped from
+        self._tile_components = design.expand()
+        self._tile_configs = tuple(c.gemmini for c in self._tile_components)
+        self._tile_hashes = tuple(c.config_hash for c in self._tile_components)
+        #: tile-0 accelerator config (the global config on homogeneous SoCs)
+        self.gemmini = self._tile_configs[0]
+        self.clock_ghz = design.clock_ghz
+        self._specs = {t.name: t for t in profile.tenants}
         if scheduler is None:
             options = scheduler_options
             if options is None and profile.scheduler == "batch":
@@ -158,14 +206,20 @@ class ServingSimulation:
                 }
             scheduler = make_scheduler(profile.scheduler, **(options or {}))
         self.scheduler = scheduler
-        self._compiled: dict[ModelKey, object] = {}
+        # Cost-aware policies (SJF) consult each tile's own analytic cost:
+        # on a heterogeneous design the same request is cheap on a big tile
+        # and expensive on a little one.  On homogeneous SoCs the oracle
+        # returns exactly the request's cost_hint, so pick order (and
+        # therefore every record) is unchanged.
+        self.scheduler.bind_tile_costs(self._tile_cost)
+        self._compiled: dict[tuple[GemminiConfig, ModelKey], object] = {}
         self._runtimes: dict[tuple[int, ModelKey], Runtime] = {}
         self._cost_hints: dict[str, float] = {}
         # Trace replay is gated on every tile being replay-safe (the OS
         # time-slice model injects absolute-time-dependent context switches
         # that a shifted replay cannot reproduce).
         self.replay = replay and all(t.trace_replay_safe for t in self.soc.tiles)
-        self._traces: dict[tuple[int, ModelKey], _TraceSlot] = {}
+        self._traces: dict[tuple[str, ModelKey], _TraceSlot] = {}
         self._replayed = 0
         #: last ModelKey each tile executed — a different model in between
         #: invalidates the steady-state assumption a trace is recorded under
@@ -177,8 +231,11 @@ class ServingSimulation:
     # Model binding                                                        #
     # ------------------------------------------------------------------ #
 
-    def _compile(self, key: ModelKey):
-        if key not in self._compiled:
+    def _compile(self, config: GemminiConfig, key: ModelKey):
+        """Compile one model for one accelerator config (heterogeneous
+        designs lower the same model differently per tile class)."""
+        slot = (config, key)
+        if slot not in self._compiled:
             from repro.core.generator import SoftwareParams
             from repro.models.zoo import build_model
             from repro.sw.compiler import compile_graph
@@ -186,8 +243,8 @@ class ServingSimulation:
             name, input_hw, seq = key
             kwargs = {"seq": seq} if name == "bert" else {"input_hw": input_hw}
             graph = build_model(name, **kwargs)
-            self._compiled[key] = compile_graph(graph, SoftwareParams.from_config(self.gemmini))
-        return self._compiled[key]
+            self._compiled[slot] = compile_graph(graph, SoftwareParams.from_config(config))
+        return self._compiled[slot]
 
     def _runtime(self, tile_index: int, key: ModelKey) -> Runtime:
         """The tile's persistent binding for one model: tensors allocate in
@@ -195,30 +252,49 @@ class ServingSimulation:
         that tile re-runs the same plan (a resident serving replica)."""
         slot = (tile_index, key)
         if slot not in self._runtimes:
-            self._runtimes[slot] = Runtime(self.soc.tiles[tile_index], self._compile(key))
+            compiled = self._compile(self._tile_configs[tile_index], key)
+            self._runtimes[slot] = Runtime(self.soc.tiles[tile_index], compiled)
         return self._runtimes[slot]
 
     def _cost_hint(self, spec: TenantSpec) -> float:
+        """The request's *global* cost hint (tile-0 config); per-tile costs
+        go through :meth:`_tile_cost` when a policy asks."""
         if spec.name not in self._cost_hints:
             self._cost_hints[spec.name] = estimate_service_cycles(spec, self.gemmini)
         return self._cost_hints[spec.name]
+
+    def _tile_cost(self, request, tile_index: int) -> float:
+        """Analytic service-cycle estimate on *this* tile's accelerator
+        (the scheduler-facing cost oracle; memoized per workload+config)."""
+        spec = self._specs[request.tenant]
+        return estimate_service_cycles(spec, self._tile_configs[tile_index])
 
     # ------------------------------------------------------------------ #
     # Trace record/replay                                                  #
     # ------------------------------------------------------------------ #
 
-    def _trace_slot(self, tile_index: int, key: ModelKey) -> _TraceSlot:
-        slot = self._traces.get((tile_index, key))
+    def _trace_slot(self, tile_index: int, key: ModelKey) -> _TileReplayState:
+        """The replay state for one (tile, model) execution.
+
+        The outer table is keyed ``(tile_config_hash, model)`` — replay
+        state groups by tile *class* — while the returned state is the
+        asking tile's own (see :class:`_TraceSlot` for why traces never
+        cross physical tiles).
+        """
+        outer_key = (self._tile_hashes[tile_index], key)
+        slot = self._traces.get(outer_key)
         if slot is None:
-            slot = self._traces[(tile_index, key)] = _TraceSlot()
-        return slot
+            slot = self._traces[outer_key] = _TraceSlot()
+        return slot.state(tile_index)
 
     def _contended(self) -> bool:
         """True while any *other* tile has a request in flight (the caller's
         own request is always counted in ``_inflight``)."""
         return self._inflight > 1
 
-    def _finish_recording(self, slot: _TraceSlot, recorder: TraceRecorder, runtime: Runtime) -> None:
+    def _finish_recording(
+        self, slot: _TileReplayState, recorder: TraceRecorder, runtime: Runtime
+    ) -> None:
         """Decide whether the just-completed recording yields a usable trace.
 
         A clean (uncontended) recording becomes the trace once a second
@@ -232,8 +308,8 @@ class ServingSimulation:
         if recorder.dirty:
             slot.trace = record_steady_state_trace(
                 runtime,
-                self.soc.config.mem,
-                self.soc.config.os,
+                self.design.mem_config(),
+                runtime.tile.os.config,
                 segment_ops=self.trace_segment_ops,
                 warm_from=recorder.build_trace(),
             )
@@ -267,7 +343,7 @@ class ServingSimulation:
             self._expected += spec.total_requests
 
         ends = lockstep_merge(
-            [self._tile_worker(index) for index in range(profile.num_tiles)]
+            [self._tile_worker(index) for index in range(self.num_tiles)]
         )
         # Makespan is the last completion; idle workers overshoot it by up
         # to one idle tick, so worker end clocks are only the empty-run
@@ -440,8 +516,14 @@ def simulate_serving(
     os: OSConfig | None = None,
     scheduler_options: dict | None = None,
     replay: bool = True,
+    design: SoCDesign | None = None,
 ) -> ServeResult:
     """One-shot convenience: build the cluster, run the traffic, report.
+
+    ``design=`` serves the traffic on an arbitrary (possibly heterogeneous)
+    component-built :class:`~repro.soc.components.SoCDesign`; the
+    ``gemmini``/``mem``/``os`` knobs remain as shorthand for the
+    homogeneous case and are mutually exclusive with it.
 
     ``replay=False`` forces every request down the per-macro-op recording
     path (the pre-trace behaviour) — the baseline the replay benchmarks and
@@ -458,4 +540,5 @@ def simulate_serving(
         os=os,
         scheduler_options=scheduler_options,
         replay=replay,
+        design=design,
     ).run()

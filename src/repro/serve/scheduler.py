@@ -35,6 +35,26 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._queue: list[Request] = []
+        #: optional per-tile cost oracle bound by the cluster engine
+        #: (heterogeneous SoCs: a request's service time depends on which
+        #: tile runs it, so cost-aware policies must ask per tile)
+        self._tile_cost = None
+
+    def bind_tile_costs(self, fn) -> None:
+        """Install a ``fn(request, tile_index) -> cycles`` oracle.
+
+        On heterogeneous component-built SoCs the cluster engine binds the
+        analytic estimate evaluated against *each tile's own* accelerator
+        config; without a binding, cost-aware policies fall back to the
+        request's global ``cost_hint``.
+        """
+        self._tile_cost = fn
+
+    def cost_on(self, request: Request, tile_index: int) -> float:
+        """Service-cycle estimate of ``request`` on ``tile_index``."""
+        if self._tile_cost is not None:
+            return self._tile_cost(request, tile_index)
+        return request.cost_hint
 
     # -- queue management ---------------------------------------------- #
 
@@ -101,12 +121,30 @@ class PriorityScheduler(Scheduler):
 
 
 class SJFScheduler(Scheduler):
-    """Shortest job first, on the compiler's analytic cycle estimate."""
+    """Shortest job first, on the compiler's analytic cycle estimate.
+
+    With a bound per-tile cost oracle (heterogeneous SoCs) the estimate is
+    evaluated against the asking tile's own accelerator config — a job
+    that is "short" on a 32x32 tile can be "long" on an 8x8 one, and the
+    pick order reflects that.  Unbound, this reduces exactly to sorting on
+    the request's global ``cost_hint``.
+    """
 
     name = "sjf"
 
     def key(self, request: Request) -> tuple:
         return (request.cost_hint, request.arrival)
+
+    def pick(self, tile_index: int, now: float) -> Request | None:
+        eligible = self._eligible(tile_index)
+        if not eligible:
+            return None
+        best = min(
+            eligible,
+            key=lambda r: (self.cost_on(r, tile_index), r.arrival, r.tenant, r.index),
+        )
+        self._queue.remove(best)
+        return best
 
 
 class RoundRobinScheduler(Scheduler):

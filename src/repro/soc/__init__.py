@@ -5,11 +5,27 @@ standalone accelerators (paper Section III-C): RISC-V host CPUs from
 low-power in-order Rocket cores to out-of-order BOOM cores, shared L2 and
 DRAM, and a Linux-capable software environment whose context switches flush
 accelerator TLB state.
+
+SoCs are declared as component lists (:mod:`repro.soc.components`):
+:class:`TileComponent` entries — each with its own accelerator config,
+host CPU, OS model and replication count — plus the shared
+:class:`CacheComponent` / :class:`DRAMComponent` substrate, validated
+together as a :class:`SoCDesign`.  The legacy homogeneous
+:class:`SoCConfig` remains available for one release through
+:mod:`repro.soc.compat` (DeprecationWarning on construction).
 """
 
+from repro.soc.compat import LegacyConfigWarning, SoCConfig
+from repro.soc.components import (
+    CacheComponent,
+    DesignError,
+    DRAMComponent,
+    SoCDesign,
+    TileComponent,
+)
 from repro.soc.cpu import BOOM, ROCKET, CPUModel, cpu_by_name
 from repro.soc.os_model import OSConfig, OSModel
-from repro.soc.soc import SoC, SoCConfig, SoCTile, make_soc
+from repro.soc.soc import SoC, SoCTile, make_soc
 
 __all__ = [
     "BOOM",
@@ -18,8 +34,14 @@ __all__ = [
     "cpu_by_name",
     "OSConfig",
     "OSModel",
+    "CacheComponent",
+    "DRAMComponent",
+    "DesignError",
+    "LegacyConfigWarning",
     "SoC",
     "SoCConfig",
+    "SoCDesign",
     "SoCTile",
+    "TileComponent",
     "make_soc",
 ]

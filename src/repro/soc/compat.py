@@ -1,0 +1,99 @@
+"""Legacy ``SoCConfig`` adapter over the component-based design API.
+
+``SoCConfig(gemmini=..., num_tiles=N, cpu_names=...)`` predates
+:class:`~repro.soc.components.SoCDesign`; it can only express homogeneous
+SoCs (one accelerator config stamped across every tile).  It keeps working
+for one release as a thin adapter: constructing one emits a
+:class:`LegacyConfigWarning` and :meth:`SoCConfig.to_design` materialises
+the equivalent homogeneous design, which :class:`~repro.soc.soc.SoC`
+builds bitwise-identically to the historical path.
+
+CI runs the test suite with ``-W error::DeprecationWarning`` while
+ignoring warnings attributed to this module, so library code can no
+longer construct the legacy type internally — only this shim (and tests
+that opt in via ``pytest.warns``) may.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+from repro.core.config import GemminiConfig, default_config
+from repro.mem.hierarchy import MemorySystemConfig
+from repro.soc.components import (
+    CacheComponent,
+    DRAMComponent,
+    SoCDesign,
+    TileComponent,
+)
+from repro.soc.os_model import OSConfig
+
+__all__ = ["LegacyConfigWarning", "SoCConfig"]
+
+
+class LegacyConfigWarning(DeprecationWarning):
+    """Constructing the pre-component ``SoCConfig`` (removal in one release)."""
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Deprecated: parameters of a *homogeneous* SoC.
+
+    Use :class:`~repro.soc.components.SoCDesign` (or
+    :meth:`SoCDesign.homogeneous` for the common case) instead; this
+    adapter survives one release to migrate the existing construction
+    sites without behaviour change.
+    """
+
+    gemmini: GemminiConfig = field(default_factory=default_config)
+    mem: MemorySystemConfig = field(default_factory=MemorySystemConfig)
+    num_tiles: int = 1
+    cpu_names: tuple = ("rocket",)
+    os: OSConfig = field(default_factory=OSConfig)
+    global_ptw: bool = True
+    scattered_pages: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_tiles < 1:
+            raise ValueError("num_tiles must be >= 1")
+        if len(self.cpu_names) not in (1, self.num_tiles):
+            raise ValueError("cpu_names must have one entry or one per tile")
+        warnings.warn(
+            "SoCConfig is deprecated and will be removed in the next release; "
+            "build a repro.soc.SoCDesign (SoCDesign.homogeneous(...) for "
+            "single-config SoCs) instead",
+            LegacyConfigWarning,
+            stacklevel=3,  # dataclass __init__ -> __post_init__ -> caller
+        )
+
+    def to_design(self) -> SoCDesign:
+        """The equivalent homogeneous :class:`SoCDesign`.
+
+        Per-tile declaration order is preserved, so ``SoC`` builds the
+        exact tile list (index, CPU, address-space base, asid) the legacy
+        constructor produced.
+        """
+        names = self.cpu_names
+        tiles: list[TileComponent] = []
+        for index in range(self.num_tiles):
+            cpu = names[index if len(names) > 1 else 0]
+            if tiles and tiles[-1].cpu_model == _resolve(cpu):
+                tiles[-1] = tiles[-1].with_count(tiles[-1].count + 1)
+            else:
+                tiles.append(TileComponent(gemmini=self.gemmini, cpu=cpu, os=self.os))
+        return SoCDesign(
+            components=tuple(tiles)
+            + (
+                CacheComponent(l2=self.mem.l2, bus_beat_bytes=self.mem.bus_beat_bytes),
+                DRAMComponent(dram=self.mem.dram),
+            ),
+            global_ptw=self.global_ptw,
+            scattered_pages=self.scattered_pages,
+        )
+
+
+def _resolve(cpu):
+    from repro.soc.cpu import CPUModel, cpu_by_name
+
+    return cpu_by_name(cpu) if not isinstance(cpu, CPUModel) else cpu

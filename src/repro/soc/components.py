@@ -1,0 +1,417 @@
+"""Composable SoC configuration: heterogeneous tiles as first-class designs.
+
+The paper's central claim is that Gemmini is a *generator*, not a point
+design.  This module extends that claim from the accelerator to the SoC:
+instead of one :class:`~repro.core.config.GemminiConfig` stamped across
+``num_tiles`` identical tiles, an SoC is a declarative **component list** —
+:class:`TileComponent` entries (each carrying its own accelerator config,
+host CPU and OS model, with a replication count), plus at most one
+:class:`CacheComponent` and one :class:`DRAMComponent` for the shared
+memory substrate.  A validated :class:`SoCDesign` bundles the list with
+SoC-wide policy (shared PTW, page scattering) and optional area/power
+budgets, so heterogeneous big/little accelerator fleets are expressible
+and checkable before anything is simulated.
+
+Everything here is frozen and hashable: designs are usable as cache keys,
+ship across :class:`~repro.eval.runner.ExperimentRunner` process
+boundaries, and round-trip through JSON via :meth:`SoCDesign.to_dict` /
+:meth:`SoCDesign.from_dict` (the ``gemmini-repro soc-spec`` surface).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.core.config import GemminiConfig, config_from_dict, default_config
+from repro.mem.cache import CacheConfig
+from repro.mem.dram import DRAMConfig
+from repro.mem.hierarchy import MemorySystemConfig
+from repro.soc.cpu import CPUModel, cpu_by_name
+from repro.soc.os_model import OSConfig
+
+__all__ = [
+    "TileComponent",
+    "CacheComponent",
+    "DRAMComponent",
+    "SoCDesign",
+    "DesignError",
+]
+
+
+class DesignError(ValueError):
+    """Raised for malformed or budget-violating SoC designs."""
+
+
+# ---------------------------------------------------------------------- #
+# Components                                                              #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TileComponent:
+    """One CPU+accelerator tile class, replicated ``count`` times.
+
+    ``cpu`` accepts either a registered CPU name (``"rocket"``/``"boom"``)
+    or a :class:`~repro.soc.cpu.CPUModel` instance; both are validated and
+    normalised to a model object here — the single place tile CPUs are
+    resolved (the legacy ``SoCConfig.cpu_names`` path silently accepted
+    model objects against its ``tuple[str, ...]`` type hint).
+    """
+
+    gemmini: GemminiConfig = field(default_factory=default_config)
+    cpu: "str | CPUModel" = "rocket"
+    os: OSConfig = field(default_factory=OSConfig)
+    count: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise DesignError(f"tile component {self.label!r}: count must be >= 1")
+        if isinstance(self.cpu, str):
+            object.__setattr__(self, "cpu", cpu_by_name(self.cpu))  # raises if unknown
+        elif not isinstance(self.cpu, CPUModel):
+            raise DesignError(
+                f"tile component {self.label!r}: cpu must be a name or CPUModel, "
+                f"got {type(self.cpu).__name__}"
+            )
+
+    @property
+    def cpu_model(self) -> CPUModel:
+        return self.cpu  # always normalised by __post_init__
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.gemmini.dim}x{self.gemmini.dim}"
+
+    @property
+    def config_hash(self) -> str:
+        """Stable identity of the tile *configuration* (not the instance).
+
+        Two tiles with equal accelerator config, CPU and OS model hash
+        identically regardless of ``count``/``name`` — this keys the
+        serving engine's trace-slot table, grouping replay state by what
+        the hardware is rather than where it sits in the tile list.
+        """
+        payload = {
+            "gemmini": self.gemmini.to_dict(),
+            "cpu": asdict(self.cpu),
+            "os": asdict(self.os),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def with_count(self, count: int) -> "TileComponent":
+        return replace(self, count=count)
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "kind": "tile",
+            "gemmini": self.gemmini.to_dict(),
+            "os": asdict(self.os),
+            "count": self.count,
+        }
+        # A registered CPU serialises by name; a custom model by its fields.
+        try:
+            registered = cpu_by_name(self.cpu.name) == self.cpu
+        except ValueError:
+            registered = False
+        out["cpu"] = self.cpu.name if registered else asdict(self.cpu)
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TileComponent":
+        cpu = data.get("cpu", "rocket")
+        if isinstance(cpu, dict):
+            cpu = CPUModel(**cpu)
+        return cls(
+            gemmini=config_from_dict(data.get("gemmini", {})),
+            cpu=cpu,
+            os=OSConfig(**data.get("os", {})),
+            count=int(data.get("count", 1)),
+            name=data.get("name", ""),
+        )
+
+    def describe(self) -> str:
+        return f"{self.count}x [{self.label}] {self.gemmini.describe()}, cpu={self.cpu.name}"
+
+
+@dataclass(frozen=True)
+class CacheComponent:
+    """The shared system bus + (optional) L2 cache level.
+
+    ``l2=None`` models an SoC whose accelerator DMA bypasses the cache
+    hierarchy and talks to DRAM directly.
+    """
+
+    l2: CacheConfig | None = field(default_factory=CacheConfig)
+    bus_beat_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.bus_beat_bytes < 1:
+            raise DesignError("bus_beat_bytes must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "cache",
+            "l2": asdict(self.l2) if self.l2 is not None else None,
+            "bus_beat_bytes": self.bus_beat_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheComponent":
+        l2 = data.get("l2", "default")
+        if isinstance(l2, dict):
+            l2 = CacheConfig(**l2)
+        elif l2 == "default":
+            l2 = CacheConfig()
+        return cls(l2=l2, bus_beat_bytes=int(data.get("bus_beat_bytes", 16)))
+
+
+@dataclass(frozen=True)
+class DRAMComponent:
+    """The shared DRAM channel."""
+
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def to_dict(self) -> dict:
+        return {"kind": "dram", "dram": asdict(self.dram)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DRAMComponent":
+        return cls(dram=DRAMConfig(**data.get("dram", {})))
+
+
+_COMPONENT_KINDS = {
+    "tile": TileComponent,
+    "cache": CacheComponent,
+    "dram": DRAMComponent,
+}
+
+
+# ---------------------------------------------------------------------- #
+# The design                                                              #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SoCDesign:
+    """A validated component list: the SoC as a declarative design.
+
+    At least one :class:`TileComponent` is required; at most one
+    :class:`CacheComponent` and one :class:`DRAMComponent` describe the
+    shared memory substrate (defaults are used when omitted).  Every tile
+    must run at one reference clock — the simulator's lockstep merge and
+    the serving engine's cycle accounting assume a single clock domain —
+    and optional ``area_budget_mm2`` / ``power_budget_mw`` bounds are
+    checked against the fleet totals at construction time (the lumos-style
+    MPSoC budget discipline).
+    """
+
+    components: tuple = ()
+    name: str = "soc"
+    #: one PTW shared across the whole SoC (else one per tile, still shared
+    #: between that tile's CPU and accelerator)
+    global_ptw: bool = True
+    #: scatter physical pages (long-running-Linux free-page fragmentation)
+    scattered_pages: bool = True
+    area_budget_mm2: float | None = None
+    power_budget_mw: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "components", tuple(self.components))
+        tiles = [c for c in self.components if isinstance(c, TileComponent)]
+        caches = [c for c in self.components if isinstance(c, CacheComponent)]
+        drams = [c for c in self.components if isinstance(c, DRAMComponent)]
+        other = [
+            c for c in self.components
+            if not isinstance(c, (TileComponent, CacheComponent, DRAMComponent))
+        ]
+        if other:
+            raise DesignError(
+                f"design {self.name!r}: unknown component type(s) "
+                f"{sorted({type(c).__name__ for c in other})}"
+            )
+        if not tiles:
+            raise DesignError(f"design {self.name!r} needs at least one TileComponent")
+        if len(caches) > 1 or len(drams) > 1:
+            raise DesignError(
+                f"design {self.name!r}: at most one CacheComponent and one "
+                f"DRAMComponent (got {len(caches)} / {len(drams)})"
+            )
+        clocks = {t.gemmini.clock_ghz for t in tiles}
+        if len(clocks) > 1:
+            raise DesignError(
+                f"design {self.name!r}: tiles must share one reference clock, "
+                f"got {sorted(clocks)} GHz (the simulator is single-clock-domain)"
+            )
+        self._check_budgets(tiles)
+
+    def _check_budgets(self, tiles: list[TileComponent]) -> None:
+        if self.area_budget_mm2 is None and self.power_budget_mw is None:
+            return
+        if self.area_budget_mm2 is not None:
+            area = self.area_mm2()
+            if area > self.area_budget_mm2:
+                raise DesignError(
+                    f"design {self.name!r} exceeds its area budget: "
+                    f"{area:.3f} mm^2 > {self.area_budget_mm2} mm^2"
+                )
+        if self.power_budget_mw is not None:
+            power = self.power_mw()
+            if power > self.power_budget_mw:
+                raise DesignError(
+                    f"design {self.name!r} exceeds its power budget: "
+                    f"{power:.1f} mW > {self.power_budget_mw} mW"
+                )
+
+    # -- component access ------------------------------------------------ #
+
+    @property
+    def tile_components(self) -> tuple[TileComponent, ...]:
+        return tuple(c for c in self.components if isinstance(c, TileComponent))
+
+    @property
+    def cache_component(self) -> CacheComponent:
+        for c in self.components:
+            if isinstance(c, CacheComponent):
+                return c
+        return CacheComponent()
+
+    @property
+    def dram_component(self) -> DRAMComponent:
+        for c in self.components:
+            if isinstance(c, DRAMComponent):
+                return c
+        return DRAMComponent()
+
+    def expand(self) -> tuple[TileComponent, ...]:
+        """The count-expanded per-tile list: one entry per physical tile,
+        in declaration order (tile index == position here)."""
+        out: list[TileComponent] = []
+        for component in self.tile_components:
+            out.extend([component] * component.count)
+        return tuple(out)
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(c.count for c in self.tile_components)
+
+    @property
+    def clock_ghz(self) -> float:
+        return self.tile_components[0].gemmini.clock_ghz
+
+    @property
+    def homogeneous_config(self) -> GemminiConfig | None:
+        """The single accelerator config when every tile shares one, else
+        None (callers that assume a global config must handle this)."""
+        configs = {c.gemmini for c in self.tile_components}
+        return next(iter(configs)) if len(configs) == 1 else None
+
+    def mem_config(self) -> MemorySystemConfig:
+        cache = self.cache_component
+        return MemorySystemConfig(
+            bus_beat_bytes=cache.bus_beat_bytes,
+            l2=cache.l2,
+            dram=self.dram_component.dram,
+        )
+
+    # -- fleet physical totals ------------------------------------------- #
+
+    def area_mm2(self, tech=None) -> float:
+        """Fleet area: each tile's accelerator + host CPU, summed."""
+        from repro.physical.area import accelerator_area
+
+        kwargs = {"tech": tech} if tech is not None else {}
+        return sum(
+            c.count * accelerator_area(c.gemmini, cpu=c.cpu.name, **kwargs).total / 1e6
+            for c in self.tile_components
+        )
+
+    def power_mw(self, tech=None) -> float:
+        """Fleet accelerator power at each tile's design clock, summed."""
+        from repro.physical.power import power_mw
+
+        kwargs = {"tech": tech} if tech is not None else {}
+        return sum(
+            c.count * power_mw(c.gemmini, frequency_ghz=c.gemmini.clock_ghz, **kwargs)
+            for c in self.tile_components
+        )
+
+    # -- serialisation ---------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "components": [c.to_dict() for c in self.components],
+            "global_ptw": self.global_ptw,
+            "scattered_pages": self.scattered_pages,
+        }
+        if self.area_budget_mm2 is not None:
+            out["area_budget_mm2"] = self.area_budget_mm2
+        if self.power_budget_mw is not None:
+            out["power_budget_mw"] = self.power_budget_mw
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SoCDesign":
+        components = []
+        for entry in data.get("components", []):
+            kind = entry.get("kind")
+            if kind not in _COMPONENT_KINDS:
+                raise DesignError(
+                    f"unknown component kind {kind!r}; known: {sorted(_COMPONENT_KINDS)}"
+                )
+            components.append(_COMPONENT_KINDS[kind].from_dict(entry))
+        return cls(
+            components=tuple(components),
+            name=data.get("name", "soc"),
+            global_ptw=bool(data.get("global_ptw", True)),
+            scattered_pages=bool(data.get("scattered_pages", True)),
+            area_budget_mm2=data.get("area_budget_mm2"),
+            power_budget_mw=data.get("power_budget_mw"),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SoCDesign":
+        return cls.from_dict(json.loads(text))
+
+    # -- convenience constructors ----------------------------------------- #
+
+    @classmethod
+    def homogeneous(
+        cls,
+        gemmini: GemminiConfig | None = None,
+        mem: MemorySystemConfig | None = None,
+        num_tiles: int = 1,
+        cpu: "str | CPUModel" = "rocket",
+        os: OSConfig | None = None,
+        **kwargs,
+    ) -> "SoCDesign":
+        """The old one-config-times-N SoC, as a single-tile-class design."""
+        if num_tiles < 1:
+            raise DesignError("num_tiles must be >= 1")
+        mem = mem or MemorySystemConfig()
+        return cls(
+            components=(
+                TileComponent(
+                    gemmini=gemmini or default_config(),
+                    cpu=cpu,
+                    os=os or OSConfig(),
+                    count=num_tiles,
+                ),
+                CacheComponent(l2=mem.l2, bus_beat_bytes=mem.bus_beat_bytes),
+                DRAMComponent(dram=mem.dram),
+            ),
+            **kwargs,
+        )
+
+    def describe(self) -> str:
+        tiles = " + ".join(c.describe() for c in self.tile_components)
+        return f"{self.name}: {tiles}"

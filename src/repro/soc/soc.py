@@ -5,42 +5,27 @@ one Gemmini-generated accelerator (private scratchpad/accumulator/TLB);
 all tiles share the system bus, the L2 cache, the DRAM channel, and —
 matching the Section V-A design point — optionally a single page-table
 walker.
+
+Tiles are built from a :class:`~repro.soc.components.SoCDesign` component
+list, so heterogeneous big/little accelerator mixes are first-class: each
+:class:`~repro.soc.components.TileComponent` contributes ``count`` tiles
+carrying its own accelerator config, host CPU and OS model.  The legacy
+homogeneous :class:`~repro.soc.compat.SoCConfig` still constructs an SoC
+through its deprecation adapter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.core.accelerator import Accelerator
-from repro.core.config import GemminiConfig, default_config
+from repro.core.config import GemminiConfig
 from repro.mem.hierarchy import MemorySystem, MemorySystemConfig
 from repro.mem.host_memory import HostMemory
 from repro.mem.page_table import VirtualMemory
 from repro.sim.timeline import Timeline
-from repro.soc.cpu import CPUModel, cpu_by_name
+from repro.soc.compat import SoCConfig  # noqa: F401  (legacy import path)
+from repro.soc.components import SoCDesign, TileComponent
+from repro.soc.cpu import CPUModel
 from repro.soc.os_model import OSConfig, OSModel
-
-
-@dataclass(frozen=True)
-class SoCConfig:
-    """Parameters of the SoC surrounding the accelerator(s)."""
-
-    gemmini: GemminiConfig = field(default_factory=default_config)
-    mem: MemorySystemConfig = field(default_factory=MemorySystemConfig)
-    num_tiles: int = 1
-    cpu_names: tuple[str, ...] = ("rocket",)
-    os: OSConfig = field(default_factory=OSConfig)
-    #: one PTW shared across the whole SoC (else one per tile, still shared
-    #: between that tile's CPU and accelerator)
-    global_ptw: bool = True
-    #: scatter physical pages (long-running-Linux free-page fragmentation)
-    scattered_pages: bool = True
-
-    def __post_init__(self) -> None:
-        if self.num_tiles < 1:
-            raise ValueError("num_tiles must be >= 1")
-        if len(self.cpu_names) not in (1, self.num_tiles):
-            raise ValueError("cpu_names must have one entry or one per tile")
 
 
 class SoCTile:
@@ -54,6 +39,7 @@ class SoCTile:
         vm: VirtualMemory,
         host: HostMemory,
         os_model: OSModel,
+        component: TileComponent | None = None,
     ) -> None:
         self.index = index
         self.name = f"tile{index}"
@@ -62,6 +48,16 @@ class SoCTile:
         self.vm = vm
         self.host = host
         self.os = os_model
+        #: the design component this tile was stamped from
+        self.component = component or TileComponent(
+            gemmini=accel.config, cpu=cpu, os=os_model.config
+        )
+
+    @property
+    def config_hash(self) -> str:
+        """Identity of this tile's configuration (accelerator + CPU + OS);
+        equal across tiles stamped from the same component."""
+        return self.component.config_hash
 
     @property
     def trace_replay_safe(self) -> bool:
@@ -81,35 +77,39 @@ class SoCTile:
 class SoC:
     """The composed system: tiles + shared memory substrate."""
 
-    def __init__(self, config: SoCConfig | None = None) -> None:
-        self.config = config or SoCConfig()
-        cfg = self.config
-        self.mem = MemorySystem(cfg.mem)
-        self._global_ptw = Timeline("soc.ptw") if cfg.global_ptw else None
+    def __init__(self, design: SoCDesign | SoCConfig | None = None) -> None:
+        if design is None:
+            design = SoCDesign.homogeneous()
+        elif isinstance(design, SoCConfig):
+            design = design.to_design()  # deprecation adapter (warned at build)
+        self.design = design
+        self.mem = MemorySystem(design.mem_config())
+        self._global_ptw = Timeline("soc.ptw") if design.global_ptw else None
         self.tiles: list[SoCTile] = []
-        for index in range(cfg.num_tiles):
-            cpu_name = cfg.cpu_names[index if len(cfg.cpu_names) > 1 else 0]
-            cpu = cpu_by_name(cpu_name) if isinstance(cpu_name, str) else cpu_name
+        for index, component in enumerate(design.expand()):
+            gemmini = component.gemmini
             vm = VirtualMemory(
-                page_bytes=cfg.gemmini.tlb.page_bytes,
+                page_bytes=gemmini.tlb.page_bytes,
                 base=0x1000_0000 + index * 0x4000_0000,
-                scattered=cfg.scattered_pages,
+                scattered=design.scattered_pages,
                 asid=index,
             )
-            host = HostMemory(page_bytes=cfg.gemmini.tlb.page_bytes)
+            host = HostMemory(page_bytes=gemmini.tlb.page_bytes)
             ptw = self._global_ptw if self._global_ptw is not None else Timeline(
                 f"tile{index}.ptw"
             )
             accel = Accelerator(
-                cfg.gemmini,
+                gemmini,
                 mem=self.mem,
                 vm=vm,
                 host=host,
                 ptw=ptw,
                 name=f"gemmini{index}",
             )
-            os_model = OSModel(cfg.os, name=f"os{index}")
-            self.tiles.append(SoCTile(index, cpu, accel, vm, host, os_model))
+            os_model = OSModel(component.os, name=f"os{index}")
+            self.tiles.append(
+                SoCTile(index, component.cpu_model, accel, vm, host, os_model, component)
+            )
 
     @property
     def tile(self) -> SoCTile:
@@ -137,11 +137,7 @@ def make_soc(
 ) -> SoC:
     """Convenience constructor used by examples and experiments."""
     return SoC(
-        SoCConfig(
-            gemmini=gemmini or default_config(),
-            mem=mem or MemorySystemConfig(),
-            num_tiles=num_tiles,
-            cpu_names=(cpu,),
-            os=os or OSConfig(),
+        SoCDesign.homogeneous(
+            gemmini=gemmini, mem=mem, num_tiles=num_tiles, cpu=cpu, os=os
         )
     )

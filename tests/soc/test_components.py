@@ -1,0 +1,171 @@
+"""Unit tests for the component-based SoC design layer."""
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.generator import SoftwareParams
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import MemorySystemConfig
+from repro.models import build_model
+from repro.soc import (
+    ROCKET,
+    CacheComponent,
+    DesignError,
+    DRAMComponent,
+    LegacyConfigWarning,
+    SoC,
+    SoCConfig,
+    SoCDesign,
+    TileComponent,
+)
+from repro.sw.compiler import compile_graph
+from repro.sw.runtime import Runtime
+
+
+def big_little(little_count: int = 2) -> SoCDesign:
+    return SoCDesign(
+        components=(
+            TileComponent(gemmini=default_config().with_geometry(32, 1), name="big"),
+            TileComponent(
+                gemmini=default_config().with_geometry(8, 1),
+                count=little_count,
+                name="little",
+            ),
+            CacheComponent(),
+            DRAMComponent(),
+        ),
+        name="big-little",
+    )
+
+
+class TestTileComponent:
+    def test_cpu_normalised_from_string(self):
+        tile = TileComponent(cpu="boom")
+        assert tile.cpu.name == "boom"
+        assert tile.cpu_model.name == "boom"
+
+    def test_cpu_model_instance_kept(self):
+        custom = ROCKET.scaled(2.0, name="turbo")
+        assert TileComponent(cpu=custom).cpu is custom
+
+    def test_unknown_cpu_string_rejected(self):
+        with pytest.raises(ValueError, match="unknown CPU"):
+            TileComponent(cpu="pentium")
+
+    def test_non_cpu_value_rejected(self):
+        # The legacy SoC.__init__ silently accepted whatever landed in
+        # cpu_names; the component layer validates in one place.
+        with pytest.raises(DesignError):
+            TileComponent(cpu=42)
+
+    def test_count_validated(self):
+        with pytest.raises(DesignError):
+            TileComponent(count=0)
+
+    def test_config_hash_tracks_configuration(self):
+        a = TileComponent(gemmini=default_config().with_geometry(16, 1))
+        b = TileComponent(gemmini=default_config().with_geometry(16, 1), count=3)
+        c = TileComponent(gemmini=default_config().with_geometry(8, 1))
+        d = TileComponent(gemmini=default_config().with_geometry(16, 1), cpu="boom")
+        assert a.config_hash == b.config_hash  # count is not configuration
+        assert a.config_hash != c.config_hash
+        assert a.config_hash != d.config_hash
+
+
+class TestSoCDesign:
+    def test_needs_a_tile(self):
+        with pytest.raises(DesignError, match="TileComponent"):
+            SoCDesign(components=(CacheComponent(),))
+
+    def test_at_most_one_cache_and_dram(self):
+        with pytest.raises(DesignError):
+            SoCDesign(components=(TileComponent(), CacheComponent(), CacheComponent()))
+        with pytest.raises(DesignError):
+            SoCDesign(components=(TileComponent(), DRAMComponent(), DRAMComponent()))
+
+    def test_expand_orders_tiles(self):
+        design = big_little(little_count=2)
+        expanded = design.expand()
+        assert [c.label for c in expanded] == ["big", "little", "little"]
+        assert design.num_tiles == 3
+
+    def test_clock_domains_must_match(self):
+        from dataclasses import replace
+
+        fast = replace(default_config(), clock_ghz=2.0)
+        with pytest.raises(DesignError, match="clock"):
+            SoCDesign(components=(TileComponent(), TileComponent(gemmini=fast)))
+
+    def test_area_budget_enforced(self):
+        with pytest.raises(DesignError, match="area"):
+            SoCDesign(
+                components=(TileComponent(gemmini=default_config().with_geometry(32, 1)),),
+                area_budget_mm2=0.5,
+            )
+
+    def test_json_round_trip(self):
+        design = SoCDesign(
+            components=(
+                TileComponent(gemmini=default_config().with_geometry(32, 1), name="big"),
+                TileComponent(cpu="boom", count=2, name="little"),
+                CacheComponent(l2=CacheConfig(size_bytes=2 << 20)),
+                DRAMComponent(),
+            ),
+            name="rt",
+            area_budget_mm2=50.0,
+        )
+        assert SoCDesign.from_json(design.to_json()) == design
+
+    def test_round_trip_custom_cpu(self):
+        design = SoCDesign(
+            components=(TileComponent(cpu=ROCKET.scaled(2.0, name="turbo")),)
+        )
+        again = SoCDesign.from_dict(design.to_dict())
+        assert again.tile_components[0].cpu.name == "turbo"
+        assert again == design
+
+    def test_no_l2_design(self):
+        design = SoCDesign(components=(TileComponent(), CacheComponent(l2=None)))
+        assert SoCDesign.from_json(design.to_json()).cache_component.l2 is None
+
+    def test_heterogeneous_soc_builds(self):
+        soc = SoC(big_little())
+        assert [t.accel.config.dim for t in soc.tiles] == [32, 8, 8]
+        assert soc.tiles[1].config_hash == soc.tiles[2].config_hash
+        assert soc.tiles[0].config_hash != soc.tiles[1].config_hash
+        # shared substrate, private address spaces
+        assert soc.tiles[0].accel.mem is soc.tiles[2].accel.mem
+        assert soc.tiles[0].vm is not soc.tiles[1].vm
+
+
+class TestLegacyParity:
+    """SoCConfig must keep yielding bitwise-identical SoCs (CI-gated)."""
+
+    def test_legacy_warns_and_converts(self):
+        with pytest.warns(LegacyConfigWarning):
+            legacy = SoCConfig(num_tiles=3, cpu_names=("rocket", "boom", "rocket"))
+        design = legacy.to_design()
+        assert design.num_tiles == 3
+        assert [c.cpu.name for c in design.expand()] == ["rocket", "boom", "rocket"]
+
+    def test_legacy_run_is_bitwise_identical(self):
+        gemmini = default_config().with_im2col(True)
+        mem = MemorySystemConfig(l2=CacheConfig(size_bytes=1 << 20))
+        with pytest.warns(DeprecationWarning):
+            legacy_soc = SoC(SoCConfig(gemmini=gemmini, mem=mem, num_tiles=1))
+        component_soc = SoC(
+            SoCDesign(
+                components=(
+                    TileComponent(gemmini=gemmini),
+                    CacheComponent(l2=mem.l2, bus_beat_bytes=mem.bus_beat_bytes),
+                    DRAMComponent(dram=mem.dram),
+                )
+            )
+        )
+        graph = build_model("squeezenet", input_hw=32)
+        compiled = compile_graph(graph, SoftwareParams.from_config(gemmini))
+        a = Runtime(legacy_soc.tile, compiled).run()
+        b = Runtime(component_soc.tile, compiled).run()
+        assert a.total_cycles == b.total_cycles
+        assert legacy_soc.mem.dram.bytes_moved == component_soc.mem.dram.bytes_moved
+        assert legacy_soc.l2_miss_rate() == component_soc.l2_miss_rate()

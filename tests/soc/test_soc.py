@@ -9,10 +9,19 @@ from repro.soc.soc import SoC, SoCConfig, make_soc
 
 
 class TestSoCConfig:
+    """The deprecated homogeneous config keeps working through the shim."""
+
     def test_defaults(self):
-        cfg = SoCConfig()
+        with pytest.warns(DeprecationWarning):
+            cfg = SoCConfig()
         assert cfg.num_tiles == 1
         assert cfg.cpu_names == ("rocket",)
+
+    def test_construction_warns(self):
+        from repro.soc import LegacyConfigWarning
+
+        with pytest.warns(LegacyConfigWarning, match="SoCDesign"):
+            SoCConfig()
 
     def test_invalid_tile_count(self):
         with pytest.raises(ValueError):
@@ -38,16 +47,22 @@ class TestSoC:
         assert a.vm is not b.vm
 
     def test_per_tile_cpu_mix(self):
-        soc = SoC(SoCConfig(num_tiles=2, cpu_names=("rocket", "boom")))
+        with pytest.warns(DeprecationWarning):
+            config = SoCConfig(num_tiles=2, cpu_names=("rocket", "boom"))
+        soc = SoC(config)
         assert soc.tiles[0].cpu.name == "rocket"
         assert soc.tiles[1].cpu.name == "boom"
 
     def test_global_ptw_shared(self):
-        soc = SoC(SoCConfig(num_tiles=2, global_ptw=True))
+        with pytest.warns(DeprecationWarning):
+            config = SoCConfig(num_tiles=2, global_ptw=True)
+        soc = SoC(config)
         assert soc.tiles[0].accel.xlat.ptw is soc.tiles[1].accel.xlat.ptw
 
     def test_per_tile_ptw(self):
-        soc = SoC(SoCConfig(num_tiles=2, global_ptw=False))
+        with pytest.warns(DeprecationWarning):
+            config = SoCConfig(num_tiles=2, global_ptw=False)
+        soc = SoC(config)
         assert soc.tiles[0].accel.xlat.ptw is not soc.tiles[1].accel.xlat.ptw
 
     def test_address_spaces_disjoint(self):
