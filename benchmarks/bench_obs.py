@@ -1,0 +1,156 @@
+"""Telemetry overhead guard: tracing must be ~free when off, cheap when on.
+
+The two-tenant serving study (squeezenet + mobilenetv2 pinned to their own
+tiles, Poisson traffic) runs three ways through the trace-replay fast path —
+the engine's quickest configuration, where any fixed per-request telemetry
+cost is proportionally largest:
+
+* **baseline** — no observability arguments at all,
+* **disabled** — ``NULL_TRACER`` / ``NULL_METRICS`` passed explicitly (the
+  null-object singletons every instrumented call site dispatches through),
+* **enabled**  — a real :class:`Tracer` plus a :class:`MetricStream`
+  snapshotting every 8 completions.
+
+Each variant is timed as the minimum over interleaved rounds (after a shared
+warm-up) so machine drift hits all three equally.  The guard asserts the
+disabled path is within measurement noise of the baseline and the enabled
+path costs at most 10%; CI re-checks both bounds from ``BENCH_obs.json``.
+"""
+
+import time
+
+from benchmarks.conftest import FAST
+from repro.core.config import default_config
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.obs.metrics import NULL_METRICS, MetricStream
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve import TenantSpec, TrafficProfile, simulate_serving
+
+REQUESTS = 12 if FAST else 32
+QPS = 60.0
+SEED = 0
+ROUNDS = 3
+
+#: the disabled path must be statistically indistinguishable from baseline;
+#: min-of-N on a shared machine still jitters a few percent, so "noise" is
+#: floored at 5% — and widened to the baseline's own observed round-to-round
+#: spread when the machine is noisier than that (identical code can't be
+#: resolved below the jitter of repeated identical runs).
+NOISE_BOUND = 0.05
+ENABLED_BOUND = 0.10
+
+
+def _tenant(name, model, pin):
+    return TenantSpec(
+        name=name,
+        model=model,
+        arrival="poisson",
+        rate_qps=QPS,
+        num_requests=REQUESTS,
+        input_hw=32,
+        slo_ms=10.0,
+        pin_tile=pin,
+    )
+
+
+STUDY = TrafficProfile(
+    tenants=(_tenant("teamA", "squeezenet", 0), _tenant("teamB", "mobilenetv2", 1)),
+    num_tiles=2,
+    seed=SEED,
+)
+
+
+def _run(tracer=None, metrics=None):
+    return simulate_serving(STUDY, replay=True, tracer=tracer, metrics=metrics)
+
+
+def _variants():
+    clock = default_config().clock_ghz
+    return {
+        "baseline": lambda: _run(),
+        "disabled": lambda: _run(tracer=NULL_TRACER, metrics=NULL_METRICS),
+        "enabled": lambda: _run(
+            tracer=Tracer.for_cycles(clock, run_id="bench-obs", seed=SEED),
+            metrics=MetricStream(every=8),
+        ),
+    }
+
+
+def test_obs_overhead(benchmark, emit):
+    variants = _variants()
+    for fn in variants.values():
+        fn()  # warm-up: imports, model builds, trace recording machinery
+
+    # Rotate the order each round: machines drift over tens of seconds, and a
+    # fixed order would bill that drift to whichever variant always runs last.
+    # With as many rounds as variants, every variant gets every position once,
+    # so the per-variant minimum is position-neutral.
+    order = list(variants)
+    times = {name: [] for name in variants}
+    for round_no in range(ROUNDS):
+        for offset in range(len(order)):
+            name = order[(round_no + offset) % len(order)]
+            t0 = time.perf_counter()
+            variants[name]()
+            times[name].append(time.perf_counter() - t0)
+
+    best = {name: min(samples) for name, samples in times.items()}
+    overhead_disabled = best["disabled"] / best["baseline"] - 1.0
+    overhead_enabled = best["enabled"] / best["baseline"] - 1.0
+    # Baseline-vs-itself spread is the resolution limit of this machine.
+    baseline_spread = max(times["baseline"]) / best["baseline"] - 1.0
+    disabled_bound = max(NOISE_BOUND, baseline_spread)
+    enabled_bound = max(ENABLED_BOUND, baseline_spread)
+
+    # One enabled run kept around to sanity-check what the 10% actually buys.
+    tracer = Tracer.for_cycles(default_config().clock_ghz, run_id="bench-obs", seed=SEED)
+    metrics = MetricStream(every=8)
+    result = _run(tracer=tracer, metrics=metrics)
+    assert tracer.span_count() == result.completed
+    assert validate_chrome_trace(to_chrome_trace(tracer)) == []
+    assert metrics.snapshots, "no streaming snapshot taken while in flight"
+
+    benchmark.extra_info["requests_per_tenant"] = REQUESTS
+    benchmark.extra_info["rounds"] = ROUNDS
+    benchmark.extra_info["baseline_s"] = best["baseline"]
+    benchmark.extra_info["disabled_s"] = best["disabled"]
+    benchmark.extra_info["enabled_s"] = best["enabled"]
+    benchmark.extra_info["overhead_disabled"] = overhead_disabled
+    benchmark.extra_info["overhead_enabled"] = overhead_enabled
+    benchmark.extra_info["baseline_spread"] = baseline_spread
+    benchmark.extra_info["disabled_bound"] = disabled_bound
+    benchmark.extra_info["enabled_bound"] = enabled_bound
+    benchmark.extra_info["spans"] = tracer.span_count()
+    benchmark.extra_info["events"] = len(tracer.events())
+    benchmark.extra_info["snapshots"] = len(metrics.snapshots)
+
+    # The recorded timing sample: the enabled path, the one users pay for.
+    benchmark.pedantic(variants["enabled"], rounds=1, iterations=1)
+
+    emit(
+        "obs_overhead",
+        "\n".join(
+            [
+                f"telemetry overhead, two-tenant replay study "
+                f"({REQUESTS} req/tenant, min of {ROUNDS}):",
+                f"  baseline (no obs args) : {best['baseline']:.3f}s",
+                f"  disabled (null objects): {best['disabled']:.3f}s "
+                f"({overhead_disabled:+.1%})",
+                f"  enabled (trace+metrics): {best['enabled']:.3f}s "
+                f"({overhead_enabled:+.1%})",
+                f"  enabled run emitted {len(tracer.events())} events "
+                f"({tracer.span_count()} spans) and {len(metrics.snapshots)} "
+                f"metric snapshots",
+                f"  machine noise (baseline vs itself): {baseline_spread:+.1%}",
+            ]
+        ),
+    )
+
+    assert overhead_disabled <= disabled_bound, (
+        f"null-object telemetry costs {overhead_disabled:.1%} over baseline "
+        f"(bound: {disabled_bound:.0%}) — the disabled path must stay free"
+    )
+    assert overhead_enabled <= enabled_bound, (
+        f"enabled telemetry costs {overhead_enabled:.1%} over baseline "
+        f"(bound: {enabled_bound:.0%})"
+    )

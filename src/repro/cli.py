@@ -24,10 +24,16 @@ Exposes the common workflows without writing Python:
 ``gemmini-repro soc-spec``
     Validate and pretty-print a component-based SoC design JSON file
     (``--example`` emits a big/little starter spec).
+``gemmini-repro trace``
+    Validate and summarise a ``--trace-out`` timeline: top spans by
+    total/self time, queue-vs-service split per tile, cache hit ratio.
 
 Every stochastic subcommand (``run``/``dse``/``serve``) takes one
 ``--seed`` and prints the effective seed, so any output can be reproduced
-from the command line alone.
+from the command line alone.  ``run``/``serve``/``dse`` also take
+``--trace-out`` (Perfetto-loadable timeline) and ``--metrics-out``
+(streaming p50/p95/p99, goodput, utilisation snapshots); ``serve
+--live-metrics N`` prints those snapshots while the simulation runs.
 """
 
 from __future__ import annotations
@@ -74,10 +80,13 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
 
 
 @contextlib.contextmanager
-def _maybe_profile(enabled: bool):
+def _maybe_profile(enabled: bool, out: str | None = None):
     """``--profile``: run the simulation under cProfile and print the top 20
-    cumulative entries, so perf work starts from measured hot spots."""
-    if not enabled:
+    cumulative entries, so perf work starts from measured hot spots.
+    ``--profile-out PATH`` additionally (or instead) dumps the raw pstats
+    data to a file for offline digestion (``pstats.Stats(PATH)``,
+    snakeviz, gprof2dot)."""
+    if not enabled and not out:
         yield
         return
     import cProfile
@@ -89,8 +98,82 @@ def _maybe_profile(enabled: bool):
         yield
     finally:
         profiler.disable()
-        print("\n--- cProfile: top 20 by cumulative time ---")
-        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        stats = pstats.Stats(profiler)
+        if out:
+            stats.dump_stats(out)
+            print(f"wrote {out}")
+        if enabled:
+            print("\n--- cProfile: top 20 by cumulative time ---")
+            stats.sort_stats("cumulative").print_stats(20)
+
+
+# ---------------------------------------------------------------------- #
+# Observability plumbing (--trace-out / --metrics-out / --live-metrics)   #
+# ---------------------------------------------------------------------- #
+
+
+def _add_obs_args(parser: argparse.ArgumentParser, live: bool = False) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome Trace Event JSON timeline here "
+        "(open in Perfetto or chrome://tracing; digest with `gemmini-repro trace`)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write streaming metrics snapshots here (.csv -> CSV, else JSON)",
+    )
+    if live:
+        parser.add_argument(
+            "--live-metrics",
+            type=int,
+            default=None,
+            metavar="N",
+            help="print a streaming metrics line every N completed requests",
+        )
+
+
+#: snapshot keys the live console prints, in order, when present
+_LIVE_KEYS = (
+    "completed",
+    "evaluations",
+    "latency_ms_p50",
+    "latency_ms_p99",
+    "goodput_qps",
+    "utilization",
+    "front_size",
+    "hypervolume",
+)
+
+
+def _live_printer(label: str):
+    """A MetricStream ``on_snapshot`` consumer for the terminal."""
+
+    def _print(snap: dict) -> None:
+        shown = " ".join(
+            f"{key}={snap[key]:.4g}" if isinstance(snap[key], float) else f"{key}={snap[key]}"
+            for key in _LIVE_KEYS
+            if key in snap
+        )
+        print(f"[{label} t={snap.get('t', 0.0) * 1e3:.1f}ms] {shown}")
+
+    return _print
+
+
+def _export_obs(args, tracer, metrics, meta: dict) -> None:
+    """Write the ``--trace-out`` / ``--metrics-out`` artifacts, if requested."""
+    from repro.obs import export_metrics_csv, export_metrics_json, write_chrome_trace
+
+    if getattr(args, "trace_out", None) and tracer:
+        print(f"wrote {write_chrome_trace(tracer, args.trace_out)}")
+    if getattr(args, "metrics_out", None) and metrics:
+        if args.metrics_out.endswith(".csv"):
+            print(f"wrote {export_metrics_csv(metrics, args.metrics_out)}")
+        else:
+            print(f"wrote {export_metrics_json(metrics, args.metrics_out, meta=meta)}")
 
 
 def cmd_generate(args) -> int:
@@ -117,8 +200,34 @@ def cmd_run(args) -> int:
     graph = build_model(args.model, **kwargs)
     soc = make_soc(gemmini=config, cpu=args.cpu)
     model = compile_graph(graph, SoftwareParams.from_config(config))
-    with _maybe_profile(args.profile):
-        result = Runtime(soc.tile, model).run()
+
+    from repro.obs.tracer import NULL_TRACER, Tracer
+
+    want_obs = args.trace_out or args.metrics_out
+    tracer = Tracer.for_cycles(config.clock_ghz, seed=args.seed) if want_obs else NULL_TRACER
+    tracer.declare_lane(soc.tile.name, process="run", label=f"{soc.tile.name} [{args.model}]")
+    with _maybe_profile(args.profile, args.profile_out):
+        result = Runtime(soc.tile, model, tracer=tracer).run()
+
+    metrics = None
+    if args.metrics_out:
+        # A single model execution records layer spans; fold them into the
+        # same streaming-metrics document shape the serving engine emits.
+        from repro.obs.metrics import MetricStream
+
+        metrics = MetricStream()
+        to_ms = 1.0 / (config.clock_ghz * 1e6)
+        for event in tracer.events():
+            if event[0] != "X":
+                continue
+            __, __, __, start, end, evargs = event
+            metrics.observe("layer_ms", (end - start) * to_ms)
+            metrics.mark("layers")
+            if evargs and "kind" in evargs:
+                metrics.mark(f"kind:{evargs['kind']}")
+        metrics.tick(
+            result.total_cycles * to_ms / 1e3, {"total_cycles": result.total_cycles}
+        )
 
     print(f"model: {args.model} ({graph.total_macs() / 1e9:.2f} GMACs)")
     print(f"config: {config.describe()}")
@@ -149,6 +258,11 @@ def cmd_run(args) -> int:
         f"memory: L2 miss {soc.mem.l2.miss_rate():.1%}, "
         f"DRAM {soc.mem.dram.bytes_moved / 1e6:.1f} MB, "
         f"TLB private hit {soc.tile.accel.xlat.hit_rate_including_filters():.1%}"
+    )
+    _export_obs(
+        args, tracer, metrics,
+        meta={"command": "run", "model": args.model, "seed": args.seed,
+              "run_id": tracer.run_id},
     )
     return 0
 
@@ -299,11 +413,19 @@ def cmd_dse(args) -> int:
     strategy = make_strategy(args.strategy, space, seed=args.seed, **strategy_options)
     bounds = tuple(parse_bound(text) for text in args.constraint)
 
+    from repro.obs.metrics import NULL_METRICS, MetricStream
+    from repro.obs.tracer import NULL_TRACER, Tracer
+
+    # DSE orchestration runs in real time: wall-clock tracer, one metrics
+    # snapshot per generation (searches have few generations, each costly).
+    tracer = Tracer.wall(seed=args.seed) if args.trace_out else NULL_TRACER
+    metrics = MetricStream(every=1) if args.metrics_out else NULL_METRICS
+
     cache_dir = args.cache_dir or default_cache_dir()
-    with ExperimentRunner(max_workers=args.workers, cache=cache_dir) as runner:
+    with ExperimentRunner(max_workers=args.workers, cache=cache_dir, tracer=tracer) as runner:
         explorer = Explorer(
             space, strategy, spec, budget=args.budget, bounds=bounds, runner=runner,
-            batch_eval=batch_eval,
+            batch_eval=batch_eval, tracer=tracer, metrics=metrics,
         )
         result = explorer.explore()
         stats = runner.stats()
@@ -320,6 +442,11 @@ def cmd_dse(args) -> int:
         print(f"wrote {export_json(result, args.export_json)}")
     if args.export_csv:
         print(f"wrote {export_csv(result, args.export_csv)}")
+    _export_obs(
+        args, tracer, metrics,
+        meta={"command": "dse", "seed": args.seed, "strategy": args.strategy,
+              "run_id": tracer.run_id},
+    )
     return 0 if result.front else 1
 
 
@@ -366,11 +493,29 @@ def cmd_serve(args) -> int:
         )
         profile = TrafficProfile(tenants=tenants, **profile_kwargs)
 
-    with _maybe_profile(args.profile):
+    from repro.obs.metrics import NULL_METRICS, MetricStream
+    from repro.obs.tracer import NULL_TRACER, Tracer
+
+    clock_ghz = design.clock_ghz if design is not None else config.clock_ghz
+    tracer = Tracer.for_cycles(clock_ghz, seed=profile.seed) if args.trace_out else NULL_TRACER
+    if args.metrics_out or args.live_metrics:
+        metrics = MetricStream(
+            every=args.live_metrics or 64,
+            on_snapshot=_live_printer("serve") if args.live_metrics else None,
+        )
+    else:
+        metrics = NULL_METRICS
+    with _maybe_profile(args.profile, args.profile_out):
         if design is not None:
-            result = simulate_serving(profile, design=design, replay=not args.no_replay)
+            result = simulate_serving(
+                profile, design=design, replay=not args.no_replay,
+                tracer=tracer, metrics=metrics,
+            )
         else:
-            result = simulate_serving(profile, gemmini=config, replay=not args.no_replay)
+            result = simulate_serving(
+                profile, gemmini=config, replay=not args.no_replay,
+                tracer=tracer, metrics=metrics,
+            )
 
     print(f"seed: {profile.seed}")
     if design is not None:
@@ -394,7 +539,37 @@ def cmd_serve(args) -> int:
         print(f"wrote {export_serve_json(result, args.export_json)}")
     if args.export_csv:
         print(f"wrote {export_serve_csv(result, args.export_csv)}")
+    _export_obs(
+        args, tracer, metrics,
+        meta={"command": "serve", "seed": profile.seed, "scheduler": profile.scheduler,
+              "run_id": tracer.run_id},
+    )
     return 0 if result.completed else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        format_trace_summary,
+        load_trace,
+        summarize_trace,
+        validate_chrome_trace,
+    )
+
+    try:
+        data = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    violations = validate_chrome_trace(data)
+    if violations:
+        print(f"{args.file}: INVALID trace ({len(violations)} violation(s))", file=sys.stderr)
+        for violation in violations[:20]:
+            print(f"  - {violation}", file=sys.stderr)
+        if len(violations) > 20:
+            print(f"  ... and {len(violations) - 20} more", file=sys.stderr)
+        return 1
+    print(format_trace_summary(summarize_trace(data), top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -426,6 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the top-20 cumulative entries",
     )
+    p_run.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="dump raw cProfile pstats data to this file (implies profiling)",
+    )
+    _add_obs_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_area = sub.add_parser("area", help="area breakdown (Figure 6 style)")
@@ -539,6 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="batch scheduler: max hold time (wall-clock ms at each design's clock)",
     )
+    _add_obs_args(p_dse)
     p_dse.set_defaults(func=cmd_dse, parser=p_dse)
 
     p_serve = sub.add_parser(
@@ -590,7 +773,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the top-20 cumulative entries",
     )
+    p_serve.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="dump raw cProfile pstats data to this file (implies profiling)",
+    )
+    _add_obs_args(p_serve, live=True)
     p_serve.set_defaults(func=cmd_serve, parser=p_serve)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="validate and summarise an exported --trace-out timeline",
+    )
+    p_trace.add_argument("file", help="Chrome Trace Event JSON written by --trace-out")
+    p_trace.add_argument(
+        "--top", type=int, default=10, help="span families to show in the top table"
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

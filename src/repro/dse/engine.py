@@ -128,7 +128,12 @@ class Explorer:
         bounds: tuple[MetricBound, ...] | list[MetricBound] = (),
         runner: ExperimentRunner | None = None,
         batch_eval: bool = True,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricStream | None" = None,
     ) -> None:
+        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.tracer import NULL_TRACER
+
         if budget < 1:
             raise ValueError("budget must be >= 1")
         if strategy.space is not space:
@@ -139,6 +144,10 @@ class Explorer:
         self.budget = budget
         self.bounds = tuple(bounds)
         self.runner = runner
+        #: per-generation span/counter sink and live front-progress stream
+        #: (no-op singletons when observability is off)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Evaluate analytic proposals through the vectorised
         #: :func:`~repro.dse.objectives.evaluate_design_batch` fast path
         #: (still per-point content-hash cached); False forces the scalar
@@ -155,12 +164,17 @@ class Explorer:
         spent or the strategy runs out of proposals."""
         objectives = parse_objectives(self.spec.objectives)
         self.strategy.bind(objectives, self.budget, self.bounds)
+        tracer, metrics = self.tracer, self.metrics
+        strategy_name = getattr(self.strategy, "name", type(self.strategy).__name__)
+        tracer.declare_lane("search", process="dse", label=f"search [{strategy_name}]", sort=0)
         owns_runner = self.runner is None
         # A self-owned runner caches under the default directory so repeated
         # searches are incremental even through the plain Python API; pass a
-        # runner explicitly to choose (or disable) the cache.
+        # runner explicitly to choose (or disable) the cache.  A self-owned
+        # runner shares this explorer's tracer, so per-spec worker spans and
+        # cache hit/miss counters land in the same timeline.
         runner = self.runner if self.runner is not None else ExperimentRunner(
-            cache=default_cache_dir()
+            cache=default_cache_dir(), tracer=tracer
         )
         hits0, misses0 = runner.hits, runner.misses
         evaluate = functools.partial(evaluate_design, spec=self.spec)
@@ -176,9 +190,11 @@ class Explorer:
 
         trace: list[Evaluation] = []
         seen: dict[tuple, Evaluation] = {}
+        generation = 0
         try:
             while len(seen) < self.budget:
                 want = max(1, min(self.strategy.batch_size, self.budget - len(seen)))
+                gen_start = tracer.now()
                 points = self.strategy.ask(want)
                 if not points:
                     break  # space (or reachable neighbourhood) exhausted
@@ -196,12 +212,20 @@ class Explorer:
                         seen[point_key(point)] = evaluation
                         trace.append(evaluation)
                 self.strategy.tell([seen[point_key(p)] for p in points])
+                if tracer or metrics:
+                    # Front/hypervolume recomputation per generation is the
+                    # expensive part of observing a search; only pay for it
+                    # when someone is listening.
+                    self._observe_generation(
+                        generation, gen_start, len(new), trace, objectives, runner
+                    )
+                generation += 1
         finally:
             if owns_runner:
                 runner.close()
 
         feasible, infeasible = [], []
-        for e in trace:
+        for e in trace:  # final (post-budget) partition
             (feasible if all(b.satisfied(e) for b in self.bounds) else infeasible).append(e)
         front, dominated = split_front(feasible, objectives)
         reference = _reference_for(self.spec, trace) if trace else ()
@@ -220,6 +244,55 @@ class Explorer:
             reference=reference,
             cache_hits=runner.hits - hits0,
             cache_misses=runner.misses - misses0,
+        )
+
+    def _observe_generation(
+        self,
+        generation: int,
+        start: float,
+        evaluated: int,
+        trace: list[Evaluation],
+        objectives,
+        runner: ExperimentRunner,
+    ) -> None:
+        """One generation's telemetry: a span on the search lane plus
+        front-size / hypervolume counter samples and a metrics snapshot.
+
+        Recomputes the running front over the whole trace, so callers only
+        invoke this when a tracer or metric stream is actually attached.
+        """
+        feasible = [e for e in trace if all(b.satisfied(e) for b in self.bounds)]
+        front, _ = split_front(feasible, objectives)
+        reference = _reference_for(self.spec, trace) if trace else ()
+        hv = front_hypervolume(front, objectives, reference) if front else 0.0
+        now = self.tracer.now()
+        self.tracer.complete(
+            "search",
+            f"gen[{generation}]",
+            start,
+            now,
+            {
+                "evaluated": evaluated,
+                "evaluations": len(trace),
+                "front_size": len(front),
+                "hypervolume": hv,
+            },
+        )
+        self.tracer.counter("search", "front_size", now, len(front))
+        self.tracer.counter("search", "hypervolume", now, hv)
+        self.tracer.counter("search", "evaluations", now, len(trace))
+        metrics = self.metrics
+        metrics.observe("gen_ms", (now - start) * 1e3)
+        metrics.tick(
+            now,
+            {
+                "generation": generation,
+                "evaluations": len(trace),
+                "front_size": len(front),
+                "hypervolume": hv,
+                "cache_hits": runner.hits,
+                "cache_misses": runner.misses,
+            },
         )
 
 

@@ -243,6 +243,17 @@ def _run_spec(spec: ExperimentSpec) -> Any:
     return spec.run()
 
 
+def _run_spec_timed(spec: ExperimentSpec) -> tuple[Any, float, float, int]:
+    """Traced trampoline: the worker stamps its own wall-clock interval and
+    pid, so the parent can attribute the span to a worker lane.  Epoch
+    (``time.time``) stamps are the one clock parent and workers share."""
+    import time
+
+    t0 = time.time()
+    value = spec.run()
+    return value, t0, time.time(), os.getpid()
+
+
 # ---------------------------------------------------------------------- #
 # Result cache                                                            #
 # ---------------------------------------------------------------------- #
@@ -351,7 +362,10 @@ class ExperimentRunner:
         self,
         max_workers: int | None = None,
         cache: ResultCache | str | os.PathLike | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
+        from repro.obs.tracer import NULL_TRACER
+
         self.max_workers = max_workers if max_workers is not None else default_workers()
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -361,6 +375,9 @@ class ExperimentRunner:
         self._pool: ProcessPoolExecutor | None = None
         self.hits = 0
         self.misses = 0
+        #: per-spec span / cache-attribution sink (no-op singleton when off)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.declare_lane("cache", process="runner", label="cache", sort=0)
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -399,6 +416,7 @@ class ExperimentRunner:
         """
         results: list[Any] = [None] * len(specs)
         pending: list[int] = []
+        tracer = self.tracer
         # Key computation hashes source text and kwargs; do it once per spec.
         keys = [spec.key for spec in specs] if self.cache is not None else None
         primary: dict[str, int] = {}  # key -> first pending position
@@ -409,6 +427,7 @@ class ExperimentRunner:
                 if value is not ResultCache._MISS:
                     results[i] = value
                     self.hits += 1
+                    tracer.instant("cache", "hit", tracer.now(), {"spec": spec.name})
                     continue
                 first = primary.setdefault(keys[i], i)
                 if first != i:
@@ -417,9 +436,12 @@ class ExperimentRunner:
                     # count the extra as a hit.
                     duplicates[i] = first
                     self.hits += 1
+                    tracer.instant("cache", "hit", tracer.now(), {"spec": spec.name})
                     continue
             self.misses += 1
             pending.append(i)
+        tracer.counter("cache", "cache_hits", tracer.now(), self.hits)
+        tracer.counter("cache", "cache_misses", tracer.now(), self.misses)
 
         if not pending:
             return results
@@ -432,14 +454,36 @@ class ExperimentRunner:
                 self.cache.put(keys[i], value)
 
         if self.max_workers == 1 or len(pending) == 1:
+            pid = os.getpid()
+            lane = f"worker:{pid}"
+            tracer.declare_lane(lane, process="runner", label=f"pid {pid} (inline)")
             for i in pending:
-                record(i, _run_spec(specs[i]))
+                t0 = tracer.now()
+                value = _run_spec(specs[i])
+                tracer.complete(lane, specs[i].name, t0, tracer.now(), {"pid": pid})
+                record(i, value)
         else:
             pool = self._ensure_pool()
-            futures = {pool.submit(_run_spec, specs[i]): i for i in pending}
+            # Only the traced path pays for the timed trampoline; untraced
+            # submissions stay byte-identical to the pre-telemetry runner.
+            task = _run_spec_timed if tracer else _run_spec
+            futures = {pool.submit(task, specs[i]): i for i in pending}
             try:
                 for future in as_completed(futures):
-                    record(futures[future], future.result())
+                    i = futures[future]
+                    value = future.result()
+                    if tracer:
+                        value, t0, t1, pid = value
+                        lane = f"worker:{pid}"
+                        tracer.declare_lane(lane, process="runner", label=f"pid {pid}")
+                        tracer.complete(
+                            lane,
+                            specs[i].name,
+                            max(0.0, tracer.to_timeline(t0)),
+                            max(0.0, tracer.to_timeline(t1)),
+                            {"pid": pid},
+                        )
+                    record(i, value)
             except BaseException:
                 for future in futures:
                     future.cancel()
@@ -523,6 +567,7 @@ class ExperimentRunner:
         ]
         results: list[Any] = [None] * len(items)
         pending: list[int] = []
+        tracer = self.tracer
         keys = [spec.key for spec in specs] if self.cache is not None else None
         primary: dict[str, int] = {}
         duplicates: dict[int, int] = {}
@@ -532,17 +577,27 @@ class ExperimentRunner:
                 if value is not ResultCache._MISS:
                     results[i] = value
                     self.hits += 1
+                    tracer.instant("cache", "hit", tracer.now(), {"spec": specs[i].name})
                     continue
                 first = primary.setdefault(keys[i], i)
                 if first != i:
                     duplicates[i] = first
                     self.hits += 1
+                    tracer.instant("cache", "hit", tracer.now(), {"spec": specs[i].name})
                     continue
             self.misses += 1
             pending.append(i)
+        tracer.counter("cache", "cache_hits", tracer.now(), self.hits)
+        tracer.counter("cache", "cache_misses", tracer.now(), self.misses)
 
         if pending:
+            tracer.declare_lane("batch", process="runner", label="batched evaluator")
+            t0 = tracer.now()
             values = list(batch_fn([items[i] for i in pending], **shared))
+            tracer.complete(
+                "batch", f"{base}[batch:{len(pending)}]", t0, tracer.now(),
+                {"items": len(pending), "of": len(items)},
+            )
             if len(values) != len(pending):
                 raise ValueError(
                     f"batch function returned {len(values)} results "

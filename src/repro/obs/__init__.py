@@ -1,0 +1,59 @@
+"""Unified telemetry: run-scoped tracing, streaming metrics, exporters.
+
+The observability substrate every execution layer reports through:
+
+* :mod:`repro.obs.tracer` — the run-scoped :class:`Tracer` (spans,
+  instants, counters on named lanes, stamped with run id + seed) and its
+  zero-overhead disabled form :data:`NULL_TRACER`;
+* :mod:`repro.obs.metrics` — :class:`MetricStream` of streaming P²
+  percentile estimators, so p50/p95/p99, goodput and utilisation are
+  readable *while* a simulation is in flight;
+* :mod:`repro.obs.export` — Chrome Trace Event Format JSON (loads in
+  Perfetto / ``chrome://tracing``; lanes = tiles/workers/strategies),
+  the CI schema validator, and flat metrics JSON/CSV;
+* :mod:`repro.obs.summary` — post-hoc trace digestion backing the
+  ``gemmini-repro trace`` subcommand (top spans by total/self time,
+  queue-vs-service split per lane, cache hit ratio).
+
+Instrumented layers (`repro.serve.cluster`, `repro.eval.runner`,
+`repro.dse.engine`, `repro.sw.runtime`) accept a tracer/stream and default
+to the null singletons, so the disabled cost is one empty method call per
+event site — never an ``if enabled`` branch in a hot loop.
+"""
+
+from repro.obs.export import (
+    export_metrics_csv,
+    export_metrics_json,
+    metrics_to_dict,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import NULL_METRICS, MetricStream, NullMetricStream, P2Quantile
+from repro.obs.summary import (
+    TraceSummary,
+    format_trace_summary,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricStream",
+    "NullMetricStream",
+    "NULL_METRICS",
+    "P2Quantile",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_to_dict",
+    "export_metrics_json",
+    "export_metrics_csv",
+    "TraceSummary",
+    "summarize_trace",
+    "load_trace",
+    "format_trace_summary",
+]

@@ -25,6 +25,8 @@ from typing import Generator
 
 from repro.core.config import GemminiConfig
 from repro.mem.hierarchy import MemorySystemConfig
+from repro.obs.metrics import NULL_METRICS, MetricStream
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.serve.metrics import ServeReport, build_report
 from repro.serve.request import ModelKey, Request, RequestRecord
 from repro.serve.scheduler import Scheduler, make_scheduler
@@ -162,9 +164,15 @@ class ServingSimulation:
         scheduler_options: dict | None = None,
         replay: bool = True,
         design: SoCDesign | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricStream | None = None,
     ) -> None:
         from repro.core.config import default_config
 
+        #: telemetry sinks — the null singletons keep every emission site
+        #: an unconditional (no-op) call on the disabled path
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.profile = profile
         if design is not None:
             if gemmini is not None or mem is not None or os is not None:
@@ -324,8 +332,27 @@ class ServingSimulation:
     # Simulation                                                           #
     # ------------------------------------------------------------------ #
 
+    def _declare_lanes(self) -> None:
+        """Lay out the trace: one lane per tile (the serving tracks), one
+        per tenant (arrival markers), one cluster-wide counter lane."""
+        tracer = self.tracer
+        for index, component in enumerate(self._tile_components):
+            tracer.declare_lane(
+                f"tile{index}",
+                process="serve",
+                label=f"tile{index} [{component.label}]",
+                sort=index,
+            )
+        tracer.declare_lane("cluster", process="serve", label="cluster", sort=len(
+            self._tile_components))
+        for i, spec in enumerate(self.profile.tenants):
+            tracer.declare_lane(
+                f"tenant:{spec.name}", process="traffic", label=spec.name, sort=i
+            )
+
     def run(self) -> ServeResult:
         profile = self.profile
+        self._declare_lanes()
         self._records: list[RequestRecord] = []
         self._inflight = 0
         self._replayed = 0
@@ -349,6 +376,10 @@ class ServingSimulation:
         # to one idle tick, so worker end clocks are only the empty-run
         # fallback.
         makespan = max((r.finish for r in self._records), default=max(ends, default=0.0))
+        if self.metrics and self._records:
+            # Close the stream on a final whole-run snapshot whatever the
+            # tick cadence left pending.
+            self._tick_metrics(makespan)
         dropped = self._count_dropped()
         report = build_report(
             self._records, profile.tenants, self.clock_ghz, makespan, dropped
@@ -381,11 +412,13 @@ class ServingSimulation:
             clock_ghz=self.clock_ghz,
         )
         self._next_index[spec.name] = start + len(requests)
+        lane = f"tenant:{spec.name}"
         for request in requests:
             heapq.heappush(
                 self._arrivals, (request.arrival, self._arrival_seq, request)
             )
             self._arrival_seq += 1
+            self.tracer.instant(lane, "arrival", request.arrival, {"index": request.index})
 
     def _release(self, now: float) -> None:
         """Move every request that has arrived by ``now`` into the queue."""
@@ -430,6 +463,64 @@ class ServingSimulation:
             )
         return out
 
+    # -- telemetry ------------------------------------------------------- #
+
+    def _observe_completion(self, record: RequestRecord, tile_index: int, replayed: bool) -> None:
+        """Book one finished request into the tracer and metric stream.
+
+        One span per request lifecycle on the serving tile's lane —
+        arrival/queue carried as args (``queue_ms``), dispatch/service as
+        the span itself, annotated replayed-vs-recorded.  Streaming
+        metrics observe the same record and tick a snapshot every
+        ``metrics.every`` completions, so percentiles/goodput/utilisation
+        are readable while the simulation is still in flight.
+        """
+        to_ms = 1.0 / (self.clock_ghz * 1e6)
+        queue_ms = record.queue_cycles * to_ms
+        service_ms = (record.finish - record.start) * to_ms
+        self.tracer.complete(
+            f"tile{tile_index}",
+            f"{record.tenant}[{record.index}]",
+            record.start,
+            record.finish,
+            {
+                "tenant": record.tenant,
+                "index": record.index,
+                "model": record.model,
+                "replayed": replayed,
+                "arrival_ms": record.arrival * to_ms,
+                "queue_ms": queue_ms,
+                "slo_met": record.slo_met,
+            },
+        )
+        self.tracer.counter("cluster", "inflight", record.finish, self._inflight)
+
+        metrics = self.metrics
+        metrics.observe("latency_ms", record.latency_cycles * to_ms)
+        metrics.observe("queue_ms", queue_ms)
+        metrics.observe("service_ms", service_ms)
+        metrics.mark("completed")
+        if record.slo_met:
+            metrics.mark("slo_met")
+        if replayed:
+            metrics.mark("replayed")
+        metrics.acc(f"busy:tile{tile_index}", record.finish - record.start)
+        if metrics.due():
+            self._tick_metrics(record.finish)
+
+    def _tick_metrics(self, now_cycles: float) -> None:
+        """Freeze one streaming snapshot at simulated time ``now_cycles``."""
+        metrics = self.metrics
+        elapsed_s = now_cycles / (self.clock_ghz * 1e9)
+        busy = sum(v for k, v in metrics.sums.items() if k.startswith("busy:"))
+        extra = {
+            "goodput_qps": metrics.count("slo_met") / elapsed_s if elapsed_s > 0 else 0.0,
+            "throughput_qps": metrics.count("completed") / elapsed_s if elapsed_s > 0 else 0.0,
+            "utilization": busy / (self.num_tiles * now_cycles) if now_cycles > 0 else 0.0,
+            "inflight": self._inflight,
+        }
+        metrics.tick(elapsed_s, extra)
+
     # -- the per-tile worker -------------------------------------------- #
 
     def _tile_worker(self, tile_index: int) -> Generator[float, None, None]:
@@ -472,10 +563,12 @@ class ServingSimulation:
             prev_model = self._tile_last_model.get(tile_index)
             stale = prev_model is not None and prev_model != request.model_key
             self._tile_last_model[tile_index] = request.model_key
+            replayed = False
             if slot is not None and slot.trace is not None:
                 probe = (lambda: True) if stale else self._contended
                 stream = slot.trace.replay(tile, start, contended=probe)
                 self._replayed += 1
+                replayed = True
             elif slot is not None:
                 recorder = TraceRecorder(runtime, segment_ops=self.trace_segment_ops)
                 recorder.dirty = stale
@@ -503,6 +596,7 @@ class ServingSimulation:
                 slo_cycles=request.slo_cycles,
             )
             self._records.append(record)
+            self._observe_completion(record, tile_index, replayed)
             follow = self._sources[request.tenant].next_after_completion(finish)
             if follow is not None:
                 spec = next(t for t in self.profile.tenants if t.name == request.tenant)
@@ -517,6 +611,8 @@ def simulate_serving(
     scheduler_options: dict | None = None,
     replay: bool = True,
     design: SoCDesign | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricStream | None = None,
 ) -> ServeResult:
     """One-shot convenience: build the cluster, run the traffic, report.
 
@@ -528,6 +624,12 @@ def simulate_serving(
     ``replay=False`` forces every request down the per-macro-op recording
     path (the pre-trace behaviour) — the baseline the replay benchmarks and
     parity tests compare against.
+
+    ``tracer=``/``metrics=`` attach a :class:`~repro.obs.tracer.Tracer`
+    (one span per request lifecycle, laned per tile) and a streaming
+    :class:`~repro.obs.metrics.MetricStream`; both default to the no-op
+    singletons, so an uninstrumented run pays one empty method call per
+    emission site.
 
     Module-level and pure-data in/out, so it can ship through
     :class:`~repro.eval.runner.ExperimentRunner` workers and its results
@@ -541,4 +643,6 @@ def simulate_serving(
         scheduler_options=scheduler_options,
         replay=replay,
         design=design,
+        tracer=tracer,
+        metrics=metrics,
     ).run()

@@ -8,6 +8,7 @@ experiment they are part of.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 class Counter:
@@ -57,26 +58,45 @@ class Histogram:
 
     def percentile(self, p: float) -> int:
         """Return the smallest value v with P(sample <= v) >= p."""
-        if not 0.0 <= p <= 1.0:
+        return self.percentiles((p,))[0]
+
+    def percentiles(self, ps: "Sequence[float]") -> list[int]:
+        """Several percentiles over ONE sorted sweep of the buckets.
+
+        Sorting the bucket keys dominates percentile cost, so answering
+        ``(p50, p95, p99)`` with one sort instead of one per quantile makes
+        the serving report's per-tenant digests ~3x cheaper.  ``ps`` need
+        not be sorted; results come back in the order asked.
+        """
+        if any(not 0.0 <= p <= 1.0 for p in ps):
             raise ValueError("p must be in [0, 1]")
         if not self.buckets:
-            return 0
-        threshold = p * self.count
+            return [0] * len(ps)
+        ordered = sorted(range(len(ps)), key=lambda i: ps[i])
+        out = [0] * len(ps)
+        values = sorted(self.buckets)
         running = 0
-        for value in sorted(self.buckets):
-            running += self.buckets[value]
-            if running >= threshold:
-                return value
-        return max(self.buckets)
+        vi = 0
+        for i in ordered:
+            threshold = ps[i] * self.count
+            while running < threshold and vi < len(values):
+                running += self.buckets[values[vi]]
+                vi += 1
+            # vi now points one past the bucket that crossed the threshold
+            # (or past the end for p == 0 edge: the smallest value wins).
+            out[i] = values[max(0, vi - 1)] if threshold > 0 else values[0]
+        return out
 
     def summary(self) -> dict[str, float]:
-        """The distribution digest serving/latency reports are built from."""
+        """The distribution digest serving/latency reports are built from
+        (all three quantiles answered by one :meth:`percentiles` sweep)."""
+        p50, p95, p99 = self.percentiles((0.50, 0.95, 0.99))
         return {
             "count": float(self.count),
             "mean": self.mean,
-            "p50": float(self.percentile(0.50)),
-            "p95": float(self.percentile(0.95)),
-            "p99": float(self.percentile(0.99)),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
             "max": float(self.max),
         }
 

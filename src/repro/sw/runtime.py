@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.soc.soc import SoCTile
 from repro.sw.compiler import CompiledModel, LayerPlan, Placement
 from repro.sw.kernels import TileKernels
@@ -101,9 +102,13 @@ class Runtime:
         use_accel_im2col: bool | None = None,
         sync_per_layer: bool = False,
         share_allocations_from: "Runtime | None" = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.tile = tile
         self.model = model
+        #: per-layer span sink (``run --trace-out``); the null singleton
+        #: keeps the layer loop free of tracing branches
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.kernels = TileKernels(tile)
         if use_accel_im2col is None:
             use_accel_im2col = tile.accel.config.has_im2col
@@ -251,6 +256,13 @@ class Runtime:
             layer_end = max(layer_end, controller.now)
             marginal = max(0.0, layer_end - frontier)
             frontier = max(frontier, layer_end)
+            self.tracer.complete(
+                self.tile.name,
+                plan.name,
+                layer_start,
+                layer_end,
+                {"kind": plan.kind, "placement": plan.placement.value, "macs": plan.macs},
+            )
             layers.append(
                 LayerStats(
                     name=plan.name,

@@ -201,3 +201,76 @@ class TestServingObjectives:
         assert result.hypervolume > 0
         for evaluation in result.front:
             assert evaluation.metric("p99_latency_ms") > 0
+
+
+class TestExplorerTelemetry:
+    """Per-generation spans plus front-size/hypervolume counter series."""
+
+    def _explore(self, space, tracer=None, metrics=None, budget=12):
+        strategy = make_strategy("random", space, seed=5)
+        explorer = Explorer(
+            space, strategy, budget=budget,
+            runner=ExperimentRunner(max_workers=1),
+            tracer=tracer, metrics=metrics,
+        )
+        return explorer.explore()
+
+    def test_generation_spans_on_search_lane(self, space):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer.wall(run_id="dse-test", seed=5)
+        result = self._explore(space, tracer=tracer)
+        spans = [e for e in tracer.events() if e[0] == "X" and e[1] == "search"]
+        assert spans, "no generation spans recorded"
+        assert [e[2] for e in spans] == [f"gen[{g}]" for g in range(len(spans))]
+        last = spans[-1][5]
+        assert last["evaluations"] == result.evaluations
+        assert last["front_size"] == len(result.front)
+        assert last["hypervolume"] == pytest.approx(result.hypervolume)
+        assert tracer.lanes()["search"] == ("dse", "search [random]", 0)
+
+    def test_counter_series_track_front_growth(self, space):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer.wall()
+        result = self._explore(space, tracer=tracer)
+        series = {}
+        for e in tracer.events():
+            if e[0] == "C" and e[1] == "search":
+                series.setdefault(e[2], []).append(e[4])
+        assert set(series) == {"front_size", "hypervolume", "evaluations"}
+        assert series["evaluations"] == sorted(series["evaluations"])
+        assert series["evaluations"][-1] == result.evaluations
+        assert series["hypervolume"][-1] == pytest.approx(result.hypervolume)
+
+    def test_metrics_snapshot_per_generation(self, space):
+        from repro.obs.metrics import MetricStream
+
+        metrics = MetricStream(every=1)
+        result = self._explore(space, metrics=metrics)
+        assert metrics.snapshots, "no streaming snapshots"
+        final = metrics.snapshots[-1]
+        assert final["evaluations"] == result.evaluations
+        assert final["front_size"] == len(result.front)
+        assert final["hypervolume"] == pytest.approx(result.hypervolume)
+        assert {"cache_hits", "cache_misses"} <= set(final)
+        gens = [s["generation"] for s in metrics.snapshots]
+        assert gens == list(range(len(gens)))
+
+    def test_untraced_exploration_is_unchanged(self, space):
+        """Telemetry off (the default) must not alter search results."""
+        from repro.obs.tracer import Tracer
+
+        plain = self._explore(space)
+        tracer = Tracer.wall()
+        observed = self._explore(space, tracer=tracer)
+        assert [e.point_dict for e in observed.trace] == [e.point_dict for e in plain.trace]
+        assert observed.hypervolume == plain.hypervolume
+
+    def test_exported_dse_trace_validates(self, space):
+        from repro.obs.export import to_chrome_trace, validate_chrome_trace
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer.wall(seed=5)
+        self._explore(space, tracer=tracer)
+        assert validate_chrome_trace(to_chrome_trace(tracer)) == []

@@ -562,3 +562,75 @@ class TestResetStats:
         payload = stats.to_dict()
         assert payload == {"hits": 3, "misses": 1, "hit_rate": 0.75}
         json.dumps(payload)
+
+
+class TestRunnerTracing:
+    """Per-spec spans with cache hit/miss and worker-lane attribution."""
+
+    def _tracer(self):
+        from repro.obs.tracer import Tracer
+
+        return Tracer.wall(run_id="runner-test")
+
+    def test_serial_specs_land_on_inline_worker_lane(self):
+        tracer = self._tracer()
+        runner = ExperimentRunner(max_workers=1, tracer=tracer)
+        runner.map(square, [1, 2, 3], label="sq")
+        spans = [e for e in tracer.events() if e[0] == "X"]
+        assert len(spans) == 3
+        assert {e[1] for e in spans} == {f"worker:{os.getpid()}"}
+        assert sorted(e[2] for e in spans) == ["sq[0]", "sq[1]", "sq[2]"]
+        for span in spans:
+            assert span[3] <= span[4]  # start <= end
+
+    def test_pooled_specs_attribute_to_worker_pid_lanes(self):
+        tracer = self._tracer()
+        with ExperimentRunner(max_workers=2, tracer=tracer) as runner:
+            runner.map(square, list(range(6)), label="sq")
+        spans = [e for e in tracer.events() if e[0] == "X"]
+        assert len(spans) == 6
+        lanes = {e[1] for e in spans}
+        assert all(lane.startswith("worker:") for lane in lanes)
+        assert f"worker:{os.getpid()}" not in lanes  # real child pids
+        for span in spans:
+            assert span[5]["pid"] == int(span[1].split(":")[1])
+            assert 0.0 <= span[3] <= span[4]
+
+    def test_cache_hits_emit_instants_and_counters(self, tmp_path):
+        tracer = self._tracer()
+        runner = ExperimentRunner(max_workers=1, cache=tmp_path, tracer=tracer)
+        runner.map(square, [1, 2], label="sq")
+        runner.map(square, [1, 2], label="sq")
+        hits = [e for e in tracer.events() if e[0] == "i" and e[2] == "hit"]
+        assert len(hits) == 2
+        assert {e[4]["spec"] for e in hits} == {"sq[0]", "sq[1]"}
+        counters = {(e[2], e[4]) for e in tracer.events() if e[0] == "C"}
+        assert ("cache_hits", 2) in counters
+        assert ("cache_misses", 2) in counters
+
+    def test_map_batch_emits_one_batch_span(self, tmp_path):
+        tracer = self._tracer()
+        runner = ExperimentRunner(max_workers=1, cache=tmp_path, tracer=tracer)
+        runner.map_batch(square_batch, [1, 2, 3], label="dse")
+        runner.map_batch(square_batch, [1, 2, 3, 4], label="dse")
+        spans = [e for e in tracer.events() if e[0] == "X"]
+        assert [e[2] for e in spans] == ["dse[batch:3]", "dse[batch:1]"]
+        assert spans[0][5] == {"items": 3, "of": 3}
+        assert spans[1][5] == {"items": 1, "of": 4}  # only the new item ran
+
+    def test_untraced_runner_by_default(self):
+        from repro.obs.tracer import NULL_TRACER
+
+        runner = ExperimentRunner(max_workers=1)
+        assert runner.tracer is NULL_TRACER
+        runner.map(square, [1, 2], label="sq")
+        assert runner.tracer.events() == []
+
+    def test_exported_runner_trace_validates(self, tmp_path):
+        from repro.obs.export import to_chrome_trace, validate_chrome_trace
+
+        tracer = self._tracer()
+        runner = ExperimentRunner(max_workers=1, cache=tmp_path, tracer=tracer)
+        runner.map(square, [1, 2, 3], label="sq")
+        runner.map(square, [1, 2, 3], label="sq")
+        assert validate_chrome_trace(to_chrome_trace(tracer)) == []

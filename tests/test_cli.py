@@ -252,3 +252,131 @@ class TestDseServingObjectives:
                 "dse", "--budget", "3",
                 "--objectives", "p99_latency_ms,area_mm2",
             ])
+
+
+class TestObservabilityFlags:
+    TENANT = "model=squeezenet,qps=200,requests=6,input_hw=32,slo_ms=5"
+
+    def _serve_with_trace(self, tmp_path, capsys, extra=()):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "serve", "--seed", "2", "--tenant", self.TENANT,
+            "--trace-out", str(trace), *extra,
+        ]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_serve_trace_out_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        trace = self._serve_with_trace(tmp_path, capsys)
+        data = json.loads(trace.read_text())
+        assert validate_chrome_trace(data) == []
+        assert data["metadata"]["seed"] == 2
+        assert data["metadata"]["tool"] == "gemmini-repro"
+
+    def test_trace_subcommand_summarises(self, capsys, tmp_path):
+        trace = self._serve_with_trace(tmp_path, capsys)
+        assert main(["trace", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "queue vs service per lane" in out
+        assert "tenant0" in out
+
+    def test_trace_subcommand_rejects_invalid(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "B", "ts": 0}]}))
+        assert main(["trace", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err and "missing" in err
+
+    def test_trace_subcommand_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_serve_metrics_out_json_and_live(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "serve", "--seed", "2", "--tenant", self.TENANT,
+            "--metrics-out", str(metrics), "--live-metrics", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[serve t=" in out  # streamed while in flight
+        doc = json.loads(metrics.read_text())
+        assert doc["meta"]["command"] == "serve"
+        assert doc["snapshots"] and doc["final"]["completed"] == 6
+
+    def test_serve_metrics_out_csv(self, capsys, tmp_path):
+        import csv
+
+        metrics = tmp_path / "metrics.csv"
+        assert main([
+            "serve", "--seed", "2", "--tenant", self.TENANT,
+            "--metrics-out", str(metrics),
+        ]) == 0
+        with metrics.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows and rows[-1]["completed"] == "6"
+
+    def test_run_trace_and_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        trace, metrics = tmp_path / "run.json", tmp_path / "runm.json"
+        assert main([
+            "run", "squeezenet", "--input-hw", "32",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        data = json.loads(trace.read_text())
+        assert validate_chrome_trace(data) == []
+        doc = json.loads(metrics.read_text())
+        assert doc["final"]["layers"] > 0
+        assert doc["final"]["layer_ms_p99"] >= doc["final"]["layer_ms_p50"]
+
+    def test_dse_trace_out(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        trace = tmp_path / "dse.json"
+        assert main([
+            "dse", "--strategy", "random", "--budget", "6", "--seed", "0",
+            "--max-dim", "8", "--cache-dir", str(tmp_path / "cache"),
+            "--trace-out", str(trace), "--metrics-out", str(tmp_path / "dsem.json"),
+        ]) == 0
+        data = json.loads(trace.read_text())
+        assert validate_chrome_trace(data) == []
+        names = {e.get("name") for e in data["traceEvents"]}
+        assert any(n and n.startswith("gen[") for n in names)
+        doc = json.loads((tmp_path / "dsem.json").read_text())
+        assert doc["snapshots"][-1]["evaluations"] == 6
+
+    def test_profile_out_writes_loadable_pstats(self, capsys, tmp_path):
+        import pstats
+
+        out = tmp_path / "serve.pstats"
+        assert main([
+            "serve", "--seed", "2", "--tenant", self.TENANT,
+            "--profile-out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert f"wrote {out}" in printed
+        assert "cProfile: top 20" not in printed  # file-only, no dump to stdout
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_run_profile_out(self, capsys, tmp_path):
+        import pstats
+
+        out = tmp_path / "run.pstats"
+        assert main([
+            "run", "squeezenet", "--input-hw", "32", "--profile-out", str(out),
+        ]) == 0
+        assert pstats.Stats(str(out)).total_calls > 0
