@@ -17,16 +17,24 @@ Environment knobs:
 * ``REPRO_WORKERS=N`` — cap the runner's process pool (1 = serial).
 * ``REPRO_CACHE_DIR=path`` — persist per-config experiment results there
   and reuse them on re-runs.
+* ``REPRO_LEDGER=path`` — append one provenance-stamped record per
+  benchmark to this run ledger (``off`` disables; see ``gemmini-repro
+  history`` / ``regress``).
+* ``REPRO_BENCH_SLEEP_S=seconds`` — inject an artificial slowdown into
+  every benchmark (test shim for the regression gate; never set in
+  normal runs).
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 import pytest
 
 from repro.eval.runner import ExperimentRunner
+from repro.obs import ledger_from_env, provenance
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
 
@@ -64,16 +72,54 @@ def emit(results_dir):
     return _emit
 
 
+#: injected slowdown (seconds) — regression-gate test shim, normally 0
+_SLEEP_S = float(os.environ.get("REPRO_BENCH_SLEEP_S", "0") or 0)
+
+
+def _bench_wall_stats(benchmark) -> dict[str, float]:
+    """min/mean/max wall seconds from the benchmark's recorded rounds."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return {}
+    out = {}
+    for key in ("min", "mean", "max"):
+        value = getattr(stats, key, None)
+        if isinstance(value, (int, float)):
+            out[f"wall_{key}_s"] = float(value)
+    return out
+
+
 def once(benchmark, fn, runner=None):
     """Run a whole-experiment benchmark exactly once.
 
     When the experiment routes through an :class:`ExperimentRunner`, pass it
     so the BENCH JSON carries this benchmark's own cache hit/miss counters
     (the runner is session-scoped; stats are reset per phase).
+
+    Every invocation stamps the BENCH JSON ``extra_info`` with the run's
+    provenance and appends one record to the run ledger (``REPRO_LEDGER``),
+    which is what ``gemmini-repro regress`` gates CI on.
     """
     if runner is not None:
         runner.reset_stats()
-    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    timed = fn
+    if _SLEEP_S > 0:
+
+        def timed():
+            time.sleep(_SLEEP_S)
+            return fn()
+
+    result = benchmark.pedantic(timed, rounds=1, iterations=1)
     if runner is not None:
         benchmark.extra_info["runner_cache"] = runner.stats().to_dict()
+    walls = _bench_wall_stats(benchmark)
+    ledger = ledger_from_env()
+    record = ledger.record(
+        "bench",
+        getattr(benchmark, "name", fn.__name__),
+        wall_s=walls.get("wall_min_s"),
+        metrics=walls,
+    )
+    benchmark.extra_info["provenance"] = provenance()
+    benchmark.extra_info["run_id"] = record.run_id
     return result

@@ -27,6 +27,18 @@ Exposes the common workflows without writing Python:
 ``gemmini-repro trace``
     Validate and summarise a ``--trace-out`` timeline: top spans by
     total/self time, queue-vs-service split per tile, cache hit ratio.
+    ``--json`` emits the validator verdict + summary machine-readably;
+    ``--diff A B`` aligns two traces by span stem and lane and reports
+    total/self-time and count deltas.
+``gemmini-repro history``
+    List/filter/show the provenance-stamped run ledger every
+    ``run``/``serve``/``dse`` invocation and benchmark appends to.
+``gemmini-repro compare RUN_A RUN_B``
+    Metric deltas between two ledgered runs, with significance.
+``gemmini-repro regress --baseline REF``
+    Statistical regression gate: compare the ledger against a named
+    baseline (a ledger file, a git rev or a run-id prefix) and exit 1
+    when any metric significantly regresses.
 
 Every stochastic subcommand (``run``/``dse``/``serve``) takes one
 ``--seed`` and prints the effective seed, so any output can be reproduced
@@ -34,6 +46,12 @@ from the command line alone.  ``run``/``serve``/``dse`` also take
 ``--trace-out`` (Perfetto-loadable timeline) and ``--metrics-out``
 (streaming p50/p95/p99, goodput, utilisation snapshots); ``serve
 --live-metrics N`` prints those snapshots while the simulation runs.
+Each such invocation also appends one provenance-stamped record (git rev
++ dirty flag, python/numpy versions, host, config/workload hashes, wall
+time, metrics summary) to the run ledger — ``--ledger PATH`` moves it,
+``--no-ledger`` or ``REPRO_LEDGER=off`` disables it; the tracer, the
+metric stream and the ledger record share one run id, so every artifact
+of a run joins on it.
 """
 
 from __future__ import annotations
@@ -41,6 +59,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import sys
+import time
 from dataclasses import replace
 
 from repro.core.config import default_config
@@ -163,6 +182,43 @@ def _live_printer(label: str):
     return _print
 
 
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="run-ledger JSONL path (default: $REPRO_LEDGER or "
+        ".repro-ledger/ledger.jsonl; REPRO_LEDGER=off disables)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the ledger",
+    )
+
+
+def _ledger_from_args(args):
+    """The ledger the command appends to (or reads): ``--ledger`` beats the
+    environment; ``--no-ledger`` yields the null object."""
+    from repro.obs import NULL_LEDGER, RunLedger, ledger_from_env
+
+    if getattr(args, "no_ledger", False):
+        return NULL_LEDGER
+    if getattr(args, "ledger", None):
+        return RunLedger(args.ledger)
+    return ledger_from_env()
+
+
+def _read_ledger(args):
+    """History/compare/regress read path: the ledger must exist."""
+    ledger = _ledger_from_args(args)
+    if not ledger or not ledger.path.exists():
+        print(f"no ledger at {ledger.path} (run something with --ledger, "
+              "or point --ledger/$REPRO_LEDGER at one)", file=sys.stderr)
+        return None
+    return ledger
+
+
 def _export_obs(args, tracer, metrics, meta: dict) -> None:
     """Write the ``--trace-out`` / ``--metrics-out`` artifacts, if requested."""
     from repro.obs import export_metrics_csv, export_metrics_json, write_chrome_trace
@@ -201,13 +257,21 @@ def cmd_run(args) -> int:
     soc = make_soc(gemmini=config, cpu=args.cpu)
     model = compile_graph(graph, SoftwareParams.from_config(config))
 
+    from repro.obs import new_run_id
     from repro.obs.tracer import NULL_TRACER, Tracer
 
+    run_id = new_run_id("run")
     want_obs = args.trace_out or args.metrics_out
-    tracer = Tracer.for_cycles(config.clock_ghz, seed=args.seed) if want_obs else NULL_TRACER
+    tracer = (
+        Tracer.for_cycles(config.clock_ghz, run_id=run_id, seed=args.seed)
+        if want_obs
+        else NULL_TRACER
+    )
     tracer.declare_lane(soc.tile.name, process="run", label=f"{soc.tile.name} [{args.model}]")
+    wall_t0 = time.perf_counter()
     with _maybe_profile(args.profile, args.profile_out):
         result = Runtime(soc.tile, model, tracer=tracer).run()
+    wall_s = time.perf_counter() - wall_t0
 
     metrics = None
     if args.metrics_out:
@@ -215,7 +279,7 @@ def cmd_run(args) -> int:
         # same streaming-metrics document shape the serving engine emits.
         from repro.obs.metrics import MetricStream
 
-        metrics = MetricStream()
+        metrics = MetricStream(run_id=run_id, seed=args.seed)
         to_ms = 1.0 / (config.clock_ghz * 1e6)
         for event in tracer.events():
             if event[0] != "X":
@@ -262,8 +326,31 @@ def cmd_run(args) -> int:
     _export_obs(
         args, tracer, metrics,
         meta={"command": "run", "model": args.model, "seed": args.seed,
-              "run_id": tracer.run_id},
+              "run_id": run_id},
     )
+    from repro.eval.runner import config_hash
+
+    ledger = _ledger_from_args(args)
+    record = ledger.record(
+        "run",
+        args.model,
+        run_id=run_id,
+        seed=args.seed,
+        wall_s=wall_s,
+        config_hash=config_hash(config),
+        workload_hash=config_hash({"model": args.model, **kwargs}),
+        workload={"model": args.model, **kwargs},
+        metrics={
+            "total_cycles": result.total_cycles,
+            "fps": result.fps(config.clock_ghz),
+            "energy_mj": energy.total_mj,
+            "tops_per_watt": energy.tops_per_watt(config.clock_ghz),
+            "l2_miss_rate": soc.mem.l2.miss_rate(),
+            "dram_bytes": soc.mem.dram.bytes_moved,
+        },
+    )
+    if ledger:
+        print(f"ledger: {record.run_id} -> {ledger.path}")
     return 0
 
 
@@ -413,15 +500,22 @@ def cmd_dse(args) -> int:
     strategy = make_strategy(args.strategy, space, seed=args.seed, **strategy_options)
     bounds = tuple(parse_bound(text) for text in args.constraint)
 
+    from repro.obs import new_run_id
     from repro.obs.metrics import NULL_METRICS, MetricStream
     from repro.obs.tracer import NULL_TRACER, Tracer
 
     # DSE orchestration runs in real time: wall-clock tracer, one metrics
     # snapshot per generation (searches have few generations, each costly).
-    tracer = Tracer.wall(seed=args.seed) if args.trace_out else NULL_TRACER
-    metrics = MetricStream(every=1) if args.metrics_out else NULL_METRICS
+    run_id = new_run_id("dse")
+    tracer = Tracer.wall(run_id=run_id, seed=args.seed) if args.trace_out else NULL_TRACER
+    metrics = (
+        MetricStream(every=1, run_id=run_id, seed=args.seed)
+        if args.metrics_out
+        else NULL_METRICS
+    )
 
     cache_dir = args.cache_dir or default_cache_dir()
+    wall_t0 = time.perf_counter()
     with ExperimentRunner(max_workers=args.workers, cache=cache_dir, tracer=tracer) as runner:
         explorer = Explorer(
             space, strategy, spec, budget=args.budget, bounds=bounds, runner=runner,
@@ -429,6 +523,7 @@ def cmd_dse(args) -> int:
         )
         result = explorer.explore()
         stats = runner.stats()
+    wall_s = time.perf_counter() - wall_t0
 
     print(front_table(result, extra_metrics=("fmax_ghz", "throughput_gmacs")))
     print(
@@ -445,8 +540,39 @@ def cmd_dse(args) -> int:
     _export_obs(
         args, tracer, metrics,
         meta={"command": "dse", "seed": args.seed, "strategy": args.strategy,
-              "run_id": tracer.run_id},
+              "run_id": run_id},
     )
+    from repro.eval.runner import config_hash
+
+    search = {
+        "strategy": args.strategy,
+        "workload": args.workload,
+        "objectives": list(spec.objectives),
+        "budget": args.budget,
+        "mix": list(args.mix),
+        "fidelity": args.fidelity,
+    }
+    ledger = _ledger_from_args(args)
+    record = ledger.record(
+        "dse",
+        f"{args.strategy}:{args.workload}",
+        run_id=run_id,
+        seed=args.seed,
+        wall_s=wall_s,
+        workload_hash=config_hash(search),
+        workload=search,
+        metrics={
+            "evaluations": result.evaluations,
+            "front_size": len(result.front),
+            "dominated": len(result.dominated),
+            "infeasible": len(result.infeasible),
+            "hypervolume": result.hypervolume,
+            "cache_hits": stats.hits,
+            "cache_misses": stats.misses,
+        },
+    )
+    if ledger:
+        print(f"ledger: {record.run_id} -> {ledger.path}")
     return 0 if result.front else 1
 
 
@@ -493,18 +619,27 @@ def cmd_serve(args) -> int:
         )
         profile = TrafficProfile(tenants=tenants, **profile_kwargs)
 
+    from repro.obs import new_run_id
     from repro.obs.metrics import NULL_METRICS, MetricStream
     from repro.obs.tracer import NULL_TRACER, Tracer
 
+    run_id = new_run_id("serve")
     clock_ghz = design.clock_ghz if design is not None else config.clock_ghz
-    tracer = Tracer.for_cycles(clock_ghz, seed=profile.seed) if args.trace_out else NULL_TRACER
+    tracer = (
+        Tracer.for_cycles(clock_ghz, run_id=run_id, seed=profile.seed)
+        if args.trace_out
+        else NULL_TRACER
+    )
     if args.metrics_out or args.live_metrics:
         metrics = MetricStream(
             every=args.live_metrics or 64,
             on_snapshot=_live_printer("serve") if args.live_metrics else None,
+            run_id=run_id,
+            seed=profile.seed,
         )
     else:
         metrics = NULL_METRICS
+    wall_t0 = time.perf_counter()
     with _maybe_profile(args.profile, args.profile_out):
         if design is not None:
             result = simulate_serving(
@@ -516,6 +651,7 @@ def cmd_serve(args) -> int:
                 profile, gemmini=config, replay=not args.no_replay,
                 tracer=tracer, metrics=metrics,
             )
+    wall_s = time.perf_counter() - wall_t0
 
     print(f"seed: {profile.seed}")
     if design is not None:
@@ -542,34 +678,267 @@ def cmd_serve(args) -> int:
     _export_obs(
         args, tracer, metrics,
         meta={"command": "serve", "seed": profile.seed, "scheduler": profile.scheduler,
-              "run_id": tracer.run_id},
+              "run_id": run_id},
     )
+    from repro.eval.runner import config_hash
+
+    mix = "+".join(spec.model for spec in profile.tenants)
+    serve_metrics = dict(report.overall.summary())
+    serve_metrics.update({
+        "fairness": report.fairness,
+        "makespan_ms": report.makespan_ms,
+        "l2_miss_rate": result.l2_miss_rate,
+        "dram_bytes": result.dram_bytes,
+        "issued": result.issued,
+        "replayed": result.replayed,
+    })
+    ledger = _ledger_from_args(args)
+    record = ledger.record(
+        "serve",
+        f"{profile.scheduler}:{mix}",
+        run_id=run_id,
+        seed=profile.seed,
+        wall_s=wall_s,
+        config_hash=config_hash(design if design is not None else config),
+        workload_hash=config_hash(profile),
+        workload={
+            "tenants": [
+                {"name": spec.name, "model": spec.model} for spec in profile.tenants
+            ],
+            "tiles": profile.num_tiles,
+            "scheduler": profile.scheduler,
+        },
+        metrics=serve_metrics,
+    )
+    if ledger:
+        print(f"ledger: {record.run_id} -> {ledger.path}")
     return 0 if result.completed else 1
 
 
-def cmd_trace(args) -> int:
-    from repro.obs import (
-        format_trace_summary,
-        load_trace,
-        summarize_trace,
-        validate_chrome_trace,
-    )
+def _load_validated_trace(path: str, as_json: bool):
+    """Load + schema-check one trace file; (data, violations) or (None, ..)."""
+    from repro.obs import load_trace, validate_chrome_trace
 
     try:
-        data = load_trace(args.file)
+        data = load_trace(path)
     except (OSError, ValueError) as exc:
-        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
-        return 1
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return None, [f"unreadable: {exc}"]
     violations = validate_chrome_trace(data)
-    if violations:
-        print(f"{args.file}: INVALID trace ({len(violations)} violation(s))", file=sys.stderr)
+    if violations and not as_json:
+        print(f"{path}: INVALID trace ({len(violations)} violation(s))", file=sys.stderr)
         for violation in violations[:20]:
             print(f"  - {violation}", file=sys.stderr)
         if len(violations) > 20:
             print(f"  ... and {len(violations) - 20} more", file=sys.stderr)
+    return data, violations
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import (
+        diff_traces,
+        format_trace_diff,
+        format_trace_summary,
+        summarize_trace,
+        trace_diff_to_dict,
+    )
+
+    if args.diff:
+        if len(args.files) != 2:
+            args.parser.error("trace --diff needs exactly two trace files (A B)")
+        loaded = [_load_validated_trace(path, args.json) for path in args.files]
+        if any(data is None or violations for data, violations in loaded):
+            if args.json:
+                print(json.dumps({
+                    "valid": False,
+                    "files": list(args.files),
+                    "violations": {
+                        path: v for path, (__, v) in zip(args.files, loaded) if v
+                    },
+                }, indent=2))
+            return 1
+        diff = diff_traces(loaded[0][0], loaded[1][0])
+        if args.json:
+            print(json.dumps(dict(
+                trace_diff_to_dict(diff), valid=True, files=list(args.files),
+            ), indent=2))
+        else:
+            print(format_trace_diff(diff, top=args.top))
+        return 0
+
+    if len(args.files) != 1:
+        args.parser.error("trace takes one file (or two with --diff)")
+    path = args.files[0]
+    data, violations = _load_validated_trace(path, args.json)
+    if args.json:
+        doc = {"file": path, "valid": not violations, "violations": violations}
+        if data is not None and not violations:
+            doc["summary"] = summarize_trace(data).to_dict()
+        print(json.dumps(doc, indent=2))
+        return 1 if violations else 0
+    if violations:
         return 1
     print(format_trace_summary(summarize_trace(data), top=args.top))
     return 0
+
+
+def _record_row(record) -> tuple:
+    """One ``history`` table row for a ledger record."""
+    import datetime
+
+    when = (
+        datetime.datetime.fromtimestamp(record.ts).strftime("%Y-%m-%d %H:%M:%S")
+        if record.ts
+        else "-"
+    )
+    rev = record.git_rev[:9] if record.git_rev else "-"
+    if record.provenance.get("git_dirty"):
+        rev += "+dirty"
+    headline = "-"
+    for key in ("p99_ms", "total_cycles", "hypervolume", "wall_min_s"):
+        if key in record.metrics:
+            headline = f"{key}={record.metrics[key]:.6g}"
+            break
+    return (
+        when,
+        record.run_id,
+        record.kind,
+        record.name,
+        "-" if record.seed is None else str(record.seed),
+        rev,
+        f"{record.wall_s:.3f}" if record.wall_s is not None else "-",
+        headline,
+    )
+
+
+def cmd_history(args) -> int:
+    import json
+
+    ledger = _read_ledger(args)
+    if ledger is None:
+        return 1
+    if args.show:
+        try:
+            record = ledger.find(args.show)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    records = ledger.history(kind=args.kind, name=args.name, limit=args.limit)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2))
+        return 0
+    if not records:
+        print(f"ledger {ledger.path}: no matching records")
+        return 0
+    from repro.eval.report import format_table
+
+    print(format_table(
+        ["when", "run id", "kind", "name", "seed", "rev", "wall s", "headline"],
+        [_record_row(r) for r in records],
+        title=f"{ledger.path} ({len(records)} record(s), schema "
+        f"{max(r.schema for r in records)})",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    import json
+
+    from repro.obs import compare_records, format_regression_report
+
+    ledger = _read_ledger(args)
+    if ledger is None:
+        return 1
+    try:
+        a = ledger.find(args.run_a)
+        b = ledger.find(args.run_b)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()] if args.metrics else None
+    report = compare_records(a, b, metrics=metrics, single_sample_rel=args.single_rel)
+    if args.json:
+        print(json.dumps(dict(
+            report.to_dict(),
+            run_a=a.to_dict(),
+            run_b=b.to_dict(),
+        ), indent=2))
+        return 0
+    for label, record in (("A", a), ("B", b)):
+        rev = record.git_rev[:9] if record.git_rev else "?"
+        print(f"{label}: {record.run_id} [{record.kind}/{record.name}] "
+              f"seed={record.seed} rev={rev} wall={record.wall_s}")
+    print()
+    print(format_regression_report(report, verbose=True))
+    return 0
+
+
+def cmd_regress(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import RunLedger, detect_regressions, format_regression_report
+
+    ledger = _read_ledger(args)
+    if ledger is None:
+        return 1
+    records = ledger.records()
+    if args.kind:
+        records = [r for r in records if r.kind == args.kind]
+
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        baseline = RunLedger(baseline_path).records()
+        if args.kind:
+            baseline = [r for r in baseline if r.kind == args.kind]
+        base_ids = {r.run_id for r in baseline}
+        candidate = [r for r in records if r.run_id not in base_ids]
+    else:
+        # A git rev or run-id prefix *inside* the working ledger.
+        def matches(r) -> bool:
+            return (r.git_rev or "").startswith(args.baseline) or r.run_id.startswith(
+                args.baseline
+            )
+
+        baseline = [r for r in records if matches(r)]
+        candidate = [r for r in records if not matches(r)]
+    if args.candidate:
+        candidate = [
+            r
+            for r in candidate
+            if (r.git_rev or "").startswith(args.candidate)
+            or r.run_id.startswith(args.candidate)
+        ]
+    if not baseline:
+        print(f"baseline {args.baseline!r}: no records — nothing to gate "
+              "(first run against this baseline?)")
+        return 0
+    if not candidate:
+        print("no candidate records to gate", file=sys.stderr)
+        return 1
+
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()] if args.metrics else None
+    report = detect_regressions(
+        baseline,
+        candidate,
+        metrics=metrics,
+        last=args.last,
+        noise_floor=args.noise_floor,
+        single_sample_rel=args.single_rel,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        revs = sorted({(r.git_rev or "?")[:9] for r in baseline})
+        print(f"baseline: {len(baseline)} record(s) at rev(s) {', '.join(revs)}")
+        print(f"candidate: {len(candidate)} record(s)")
+        print()
+        print(format_regression_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -608,6 +977,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump raw cProfile pstats data to this file (implies profiling)",
     )
     _add_obs_args(p_run)
+    _add_ledger_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_area = sub.add_parser("area", help="area breakdown (Figure 6 style)")
@@ -722,6 +1092,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch scheduler: max hold time (wall-clock ms at each design's clock)",
     )
     _add_obs_args(p_dse)
+    _add_ledger_args(p_dse)
     p_dse.set_defaults(func=cmd_dse, parser=p_dse)
 
     p_serve = sub.add_parser(
@@ -780,17 +1151,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump raw cProfile pstats data to this file (implies profiling)",
     )
     _add_obs_args(p_serve, live=True)
+    _add_ledger_args(p_serve)
     p_serve.set_defaults(func=cmd_serve, parser=p_serve)
 
     p_trace = sub.add_parser(
         "trace",
-        help="validate and summarise an exported --trace-out timeline",
+        help="validate, summarise or diff exported --trace-out timelines",
     )
-    p_trace.add_argument("file", help="Chrome Trace Event JSON written by --trace-out")
+    p_trace.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="Chrome Trace Event JSON written by --trace-out (two files with --diff)",
+    )
     p_trace.add_argument(
         "--top", type=int, default=10, help="span families to show in the top table"
     )
-    p_trace.set_defaults(func=cmd_trace)
+    p_trace.add_argument(
+        "--diff", action="store_true",
+        help="diff two traces: per-stem span deltas and per-lane busy/queue deltas",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: validator verdict + summary (or diff)",
+    )
+    p_trace.set_defaults(func=cmd_trace, parser=p_trace)
+
+    p_history = sub.add_parser(
+        "history", help="list provenance-stamped run records from the ledger"
+    )
+    p_history.add_argument(
+        "show", nargs="?", default=None, metavar="RUN_ID",
+        help="show one record (unique run-id prefix) as full JSON",
+    )
+    p_history.add_argument("--kind", default=None, help="filter: run | serve | dse | bench | runner")
+    p_history.add_argument("--name", default=None, help="filter by record name")
+    p_history.add_argument("--limit", type=int, default=20, help="most recent N records")
+    p_history.add_argument("--json", action="store_true", help="emit records as JSON")
+    _add_ledger_args(p_history)
+    p_history.set_defaults(func=cmd_history)
+
+    p_compare = sub.add_parser(
+        "compare", help="metric deltas + significance between two ledger records"
+    )
+    p_compare.add_argument("run_a", metavar="RUN_A", help="baseline run-id prefix")
+    p_compare.add_argument("run_b", metavar="RUN_B", help="candidate run-id prefix")
+    p_compare.add_argument(
+        "--metrics", default=None, help="comma-separated metric subset to compare"
+    )
+    p_compare.add_argument(
+        "--single-rel", type=float, default=0.5,
+        help="single-sample fallback: flag |relative change| above this",
+    )
+    p_compare.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_ledger_args(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="statistical perf gate: exit 1 on significant regression vs a baseline",
+    )
+    p_regress.add_argument(
+        "--baseline", required=True, metavar="REF",
+        help="baseline ledger file, or a git-rev / run-id prefix within the ledger",
+    )
+    p_regress.add_argument(
+        "--candidate", default=None, metavar="REF",
+        help="restrict candidate records to this git-rev / run-id prefix",
+    )
+    p_regress.add_argument("--kind", default=None, help="gate only records of this kind")
+    p_regress.add_argument(
+        "--metrics", default=None, help="comma-separated metric subset to gate"
+    )
+    p_regress.add_argument(
+        "--last", type=int, default=5, help="records per (kind, name) group per side"
+    )
+    p_regress.add_argument(
+        "--noise-floor", type=float, default=0.05,
+        help="ignore |relative change| below this even when the CI excludes 0",
+    )
+    p_regress.add_argument(
+        "--single-rel", type=float, default=0.5,
+        help="single-sample fallback: flag |relative change| above this",
+    )
+    p_regress.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p_regress.add_argument("--verbose", action="store_true", help="print every delta row")
+    _add_ledger_args(p_regress)
+    p_regress.set_defaults(func=cmd_regress)
 
     return parser
 

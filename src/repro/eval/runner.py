@@ -28,6 +28,7 @@ import inspect
 import json
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, fields, is_dataclass
 from functools import lru_cache
@@ -363,7 +364,9 @@ class ExperimentRunner:
         max_workers: int | None = None,
         cache: ResultCache | str | os.PathLike | None = None,
         tracer: "Tracer | None" = None,
+        ledger=None,
     ) -> None:
+        from repro.obs.ledger import NULL_LEDGER
         from repro.obs.tracer import NULL_TRACER
 
         self.max_workers = max_workers if max_workers is not None else default_workers()
@@ -378,6 +381,8 @@ class ExperimentRunner:
         #: per-spec span / cache-attribution sink (no-op singleton when off)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.declare_lane("cache", process="runner", label="cache", sort=0)
+        #: run-history sink: one record per ``run_specs`` batch (no-op when off)
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -414,6 +419,7 @@ class ExperimentRunner:
         remainder execute in parallel (or inline when a pool is not worth
         spinning up).
         """
+        batch_t0 = time.perf_counter() if self.ledger else 0.0
         results: list[Any] = [None] * len(specs)
         pending: list[int] = []
         tracer = self.tracer
@@ -444,6 +450,7 @@ class ExperimentRunner:
         tracer.counter("cache", "cache_misses", tracer.now(), self.misses)
 
         if not pending:
+            self._record_batch(specs, time.perf_counter() - batch_t0, executed=0)
             return results
 
         # Cache every result the moment it exists: a point that fails (or a
@@ -490,7 +497,27 @@ class ExperimentRunner:
                 raise
         for i, first in duplicates.items():
             results[i] = results[first]
+        self._record_batch(specs, time.perf_counter() - batch_t0, executed=len(pending))
         return results
+
+    def _record_batch(self, specs: Sequence[ExperimentSpec], wall_s: float, executed: int) -> None:
+        """One ledger record per ``run_specs`` batch: what ran, how long,
+        and the cache split — provenance-stamped like every other record."""
+        if not self.ledger or not specs:
+            return
+        base = specs[0].name.split("[", 1)[0]
+        self.ledger.record(
+            "runner",
+            base,
+            wall_s=wall_s,
+            workload={"specs": [spec.name for spec in specs[:32]], "n": len(specs)},
+            metrics={
+                "specs": float(len(specs)),
+                "executed": float(executed),
+                "cache_hits": float(self.hits),
+                "cache_misses": float(self.misses),
+            },
+        )
 
     def map(
         self,

@@ -19,9 +19,53 @@ Instrumented layers (`repro.serve.cluster`, `repro.eval.runner`,
 `repro.dse.engine`, `repro.sw.runtime`) accept a tracer/stream and default
 to the null singletons, so the disabled cost is one empty method call per
 event site — never an ``if enabled`` branch in a hot loop.
+
+Persistence and comparison ride on the same substrate:
+
+* :mod:`repro.obs.ledger` — the append-only provenance-stamped run
+  ledger (``gemmini-repro history``), the durable sample store every
+  CLI run and benchmark reports into;
+* :mod:`repro.obs.regress` — statistical regression gates over ledgered
+  history (``gemmini-repro regress`` / ``compare``);
+* :mod:`repro.obs.diff` — span-stem/lane-aligned diffing of two exported
+  traces (``gemmini-repro trace --diff``).
 """
 
-from repro.obs.export import (
+import itertools as _itertools
+import os as _os
+import uuid as _uuid
+
+#: monotone per-process counter backing run ids (shared by the tracer,
+#: metric streams and ledger records, so artifacts join on one id)
+_RUN_IDS = _itertools.count(1)
+
+#: random token minted at import: keeps ids from different hosts / CI
+#: runs distinct even when pids and counters collide (the regression
+#: gate dedups baseline vs candidate records by run id); the pid stays
+#: in the id because forked workers inherit this module's state
+_PROC_TOKEN = _uuid.uuid4().hex[:6]
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """Mint a fresh run id: ``<prefix>-<token>-<pid>-<n>``.
+
+    The ONE stamping helper every telemetry artifact uses — a
+    :class:`Tracer`, its :class:`MetricStream` and the run's ledger
+    record share the id when the caller mints it once and passes it to
+    all three, so ``--metrics-out`` files and ``--trace-out`` timelines
+    can be joined against ``gemmini-repro history`` rows.
+    """
+    return f"{prefix}-{_PROC_TOKEN}-{_os.getpid()}-{next(_RUN_IDS)}"
+
+
+from repro.obs.diff import (  # noqa: E402
+    TraceDiff,
+    diff_summaries,
+    diff_traces,
+    format_trace_diff,
+    trace_diff_to_dict,
+)
+from repro.obs.export import (  # noqa: E402
     export_metrics_csv,
     export_metrics_json,
     metrics_to_dict,
@@ -29,16 +73,61 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
-from repro.obs.metrics import NULL_METRICS, MetricStream, NullMetricStream, P2Quantile
-from repro.obs.summary import (
+from repro.obs.ledger import (  # noqa: E402
+    NULL_LEDGER,
+    NullLedger,
+    RunLedger,
+    RunRecord,
+    default_ledger_path,
+    ledger_from_env,
+    merge_ledgers,
+    provenance,
+)
+from repro.obs.metrics import (  # noqa: E402
+    NULL_METRICS,
+    MetricStream,
+    NullMetricStream,
+    P2Quantile,
+)
+from repro.obs.regress import (  # noqa: E402
+    MetricDelta,
+    RegressionReport,
+    compare_records,
+    compare_samples,
+    detect_regressions,
+    format_regression_report,
+    metric_direction,
+)
+from repro.obs.summary import (  # noqa: E402
     TraceSummary,
     format_trace_summary,
     load_trace,
     summarize_trace,
 )
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer  # noqa: E402
 
 __all__ = [
+    "new_run_id",
+    "RunLedger",
+    "RunRecord",
+    "NullLedger",
+    "NULL_LEDGER",
+    "provenance",
+    "default_ledger_path",
+    "ledger_from_env",
+    "merge_ledgers",
+    "MetricDelta",
+    "RegressionReport",
+    "compare_records",
+    "compare_samples",
+    "detect_regressions",
+    "format_regression_report",
+    "metric_direction",
+    "TraceDiff",
+    "diff_traces",
+    "diff_summaries",
+    "format_trace_diff",
+    "trace_diff_to_dict",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

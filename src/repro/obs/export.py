@@ -246,9 +246,16 @@ def validate_chrome_trace(data: dict | list) -> list[str]:
 
 
 def metrics_to_dict(stream: MetricStream, meta: dict | None = None) -> dict:
-    """The stream as one JSON document: meta, snapshot series, final state."""
+    """The stream as one JSON document: meta, snapshot series, final state.
+
+    The stream's own ``run_id``/``seed`` stamp lands in ``meta`` (caller
+    keys win), so metrics files join against ledger records and traces."""
+    full_meta = dict(meta or {})
+    full_meta.setdefault("run_id", stream.run_id)
+    if stream.seed is not None:
+        full_meta.setdefault("seed", stream.seed)
     return {
-        "meta": dict(meta or {}),
+        "meta": full_meta,
         "snapshots": list(stream.snapshots),
         "final": stream.current(),
     }

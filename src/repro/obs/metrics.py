@@ -160,6 +160,11 @@ class MetricStream:
     Units are the caller's; the stream never converts.  ``every`` is the
     tick cadence hint consumers like the serving engine use (snapshot
     every N completions).
+
+    Streams are stamped like tracers: ``run_id``/``seed`` default through
+    :func:`repro.obs.new_run_id` and ride into every exported metrics
+    document, so a ``--metrics-out`` file joins against the run ledger
+    (pass the same id to the tracer, the stream and the ledger record).
     """
 
     def __init__(
@@ -167,9 +172,18 @@ class MetricStream:
         quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
         every: int = 64,
         on_snapshot=None,
+        run_id: str | None = None,
+        seed: int | None = None,
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
+        if run_id is None:
+            # Lazy: the shared stamping helper lives in the package root.
+            from repro.obs import new_run_id
+
+            run_id = new_run_id("metrics")
+        self.run_id = run_id
+        self.seed = seed
         self.quantile_ps = tuple(quantiles)
         self.every = every
         self.on_snapshot = on_snapshot
@@ -230,7 +244,7 @@ class NullMetricStream(MetricStream):
     loops keep unconditional calls (mirror of :class:`NullTracer`)."""
 
     def __init__(self) -> None:
-        super().__init__()
+        super().__init__(run_id="null")
 
     def observe(self, name: str, value: float) -> None:
         pass

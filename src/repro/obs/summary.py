@@ -95,6 +95,39 @@ class TraceSummary:
     def top_by_self(self, n: int = 10) -> list[SpanStats]:
         return sorted(self.spans.values(), key=lambda s: -s.self_us)[:n]
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (``gemmini-repro trace --json``)."""
+        return {
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "events": self.events,
+            "span_count": self.span_count,
+            "cache_hit_ratio": self.cache_hit_ratio(),
+            "spans": {
+                name: {
+                    "count": s.count,
+                    "total_us": s.total_us,
+                    "self_us": s.self_us,
+                    "mean_us": s.mean_us,
+                    "max_us": s.max_us,
+                }
+                for name, s in self.spans.items()
+            },
+            "lanes": [
+                {
+                    "process": stats.process,
+                    "lane": stats.lane,
+                    "spans": stats.spans,
+                    "busy_us": stats.busy_us,
+                    "queue_us": stats.queue_us,
+                    "utilization": stats.utilization,
+                }
+                for stats in self.lanes.values()
+            ],
+            "counters": dict(self.counters),
+            "instants": dict(self.instants),
+        }
+
     def cache_hit_ratio(self) -> float | None:
         """hits / (hits + misses) from the runner's counter series, if
         the trace recorded one."""

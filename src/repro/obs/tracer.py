@@ -23,18 +23,18 @@ serving process, tenants under traffic, workers under the runner.
 
 from __future__ import annotations
 
-import itertools
-import os
 import time
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "SpanHandle"]
 
-#: monotone per-process run counter backing default run ids
-_RUN_IDS = itertools.count(1)
-
 
 def _default_run_id() -> str:
-    return f"run-{os.getpid()}-{next(_RUN_IDS)}"
+    # Lazy: the shared stamping helper lives in the package root (it also
+    # stamps MetricStream snapshots and ledger records); importing it at
+    # module scope would cycle through the package init.
+    from repro.obs import new_run_id
+
+    return new_run_id()
 
 
 class Tracer:

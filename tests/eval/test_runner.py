@@ -634,3 +634,32 @@ class TestRunnerTracing:
         runner.map(square, [1, 2, 3], label="sq")
         runner.map(square, [1, 2, 3], label="sq")
         assert validate_chrome_trace(to_chrome_trace(tracer)) == []
+
+
+class TestRunnerLedger:
+    """One provenance-stamped ledger record per run_specs batch."""
+
+    def test_unledgered_by_default(self, tmp_path):
+        from repro.obs.ledger import NULL_LEDGER
+
+        runner = ExperimentRunner(max_workers=1)
+        assert runner.ledger is NULL_LEDGER
+        runner.map(square, [1, 2], label="sq")  # must not write anywhere
+
+    def test_batch_record_carries_cache_split(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        runner = ExperimentRunner(max_workers=1, cache=tmp_path / "cache", ledger=ledger)
+        runner.map(square, [1, 2, 3], label="sq")
+        runner.map(square, [1, 2, 3], label="sq")  # fully cached batch
+        records = ledger.history(kind="runner")
+        assert len(records) == 2
+        first, second = records
+        assert first.name == "sq" and second.name == "sq"
+        assert first.metrics["executed"] == 3.0
+        assert second.metrics["executed"] == 0.0
+        assert second.metrics["cache_hits"] == 3.0
+        assert first.wall_s >= 0.0
+        assert first.provenance["python"]
+        assert first.workload["n"] == 3

@@ -187,7 +187,9 @@ class TestMetricsExport:
 
     def test_metrics_to_dict_shape(self):
         doc = metrics_to_dict(self._stream(), meta={"command": "serve"})
-        assert doc["meta"] == {"command": "serve"}
+        assert doc["meta"]["command"] == "serve"
+        # the stream's own run-id stamp joins metrics files to ledger records
+        assert doc["meta"]["run_id"].startswith("metrics-")
         assert len(doc["snapshots"]) == 2
         assert doc["snapshots"][1]["goodput_qps"] == 5.0
         assert doc["final"]["completed"] == 3

@@ -1,10 +1,20 @@
 """Unit tests for P² streaming quantiles and the MetricStream."""
 
+import math
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.metrics import NULL_METRICS, MetricStream, NullMetricStream, P2Quantile
+
+
+def nearest_rank(samples, p):
+    """Histogram's convention: smallest v with P(sample <= v) >= p."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(len(ordered) * p))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 class TestP2Quantile:
@@ -54,6 +64,41 @@ class TestP2Quantile:
         for x in range(1000):
             est.observe(float(x))
         assert est.value() == pytest.approx(500.0, rel=0.05)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_exact_nearest_rank_below_five_samples(self, n, p):
+        """Under five observations the estimator must return the exact
+        nearest-rank order statistic, not an interpolation."""
+        rng = random.Random(10 * n + int(100 * p))
+        samples = [rng.expovariate(0.2) for _ in range(n)]
+        est = P2Quantile(p)
+        for x in samples:
+            est.observe(x)
+        assert est.value() == nearest_rank(samples, p)
+        assert est.value() in samples  # an actual observation, by definition
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=400,
+        ),
+        p=st.sampled_from([0.5, 0.95, 0.99]),
+    )
+    def test_property_percentile_tolerance(self, samples, p):
+        """On latency-shaped (positive, bounded) samples of any length the
+        stream's estimate stays within the observed range and, for the
+        exact-prefix regime, equals the nearest-rank statistic."""
+        ms = MetricStream()
+        for x in samples:
+            ms.observe("latency_ms", x)
+        key = f"latency_ms_p{round(p * 100)}"
+        estimate = ms.current()[key]
+        assert min(samples) <= estimate <= max(samples)
+        if len(samples) < 5:
+            assert estimate == nearest_rank(samples, p)
 
 
 class TestMetricStream:

@@ -1,0 +1,221 @@
+"""Unit tests for the statistical regression detector."""
+
+import pytest
+
+from repro.obs.ledger import RunRecord
+from repro.obs.regress import (
+    bootstrap_rel_change_ci,
+    compare_records,
+    compare_samples,
+    detect_regressions,
+    format_regression_report,
+    metric_direction,
+)
+
+
+def _rec(kind, name, wall_s=None, metrics=None, run_id=None):
+    _rec.n += 1
+    return RunRecord(
+        run_id=run_id or f"r{_rec.n}",
+        kind=kind,
+        name=name,
+        wall_s=wall_s,
+        metrics=dict(metrics or {}),
+    )
+
+
+_rec.n = 0
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name",
+        ["p99_ms", "latency_ms", "slo_violation_rate", "l2_miss_rate", "wall_s",
+         "total_cycles", "makespan_ms", "energy_mj", "queue_mean_ms", "dropped"],
+    )
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == "lower"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["goodput_qps", "throughput_qps", "fps", "speedup", "hit_rate",
+         "cache_hit_ratio", "fairness", "hypervolume", "replayed"],
+    )
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == "higher"
+
+    @pytest.mark.parametrize("name", ["completed", "issued", "front_size", "evaluations"])
+    def test_informational_metrics_have_no_direction(self, name):
+        assert metric_direction(name) is None
+
+
+class TestBootstrapCI:
+    def test_identical_samples_give_zero_interval(self):
+        low, high = bootstrap_rel_change_ci([2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
+        assert low == 0.0 and high == 0.0
+
+    def test_clear_shift_excludes_zero(self):
+        base = [1.0, 1.05, 0.95, 1.02, 0.98]
+        cand = [2.0, 2.1, 1.9, 2.05, 1.95]
+        low, high = bootstrap_rel_change_ci(base, cand)
+        assert low > 0.5  # roughly a 2x slowdown
+        assert high < 1.5
+
+    def test_deterministic_for_seed(self):
+        base, cand = [1.0, 1.2, 0.9], [1.1, 1.3, 1.0]
+        assert bootstrap_rel_change_ci(base, cand, seed=3) == bootstrap_rel_change_ci(
+            base, cand, seed=3
+        )
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_rel_change_ci([], [1.0])
+
+
+class TestCompareSamples:
+    def test_no_change_is_not_significant(self):
+        delta = compare_samples("wall_s", [1.0, 1.01, 0.99], [1.0, 1.02, 0.98])
+        assert not delta.significant
+        assert not delta.regressed
+
+    def test_doubled_wall_time_regresses(self):
+        delta = compare_samples("wall_s", [1.0, 1.02, 0.98], [2.0, 2.02, 1.98])
+        assert delta.significant and delta.regressed and not delta.improved
+        assert delta.ci_low is not None and delta.ci_low > 0
+
+    def test_improvement_is_not_a_regression(self):
+        delta = compare_samples("wall_s", [2.0, 2.02, 1.98], [1.0, 1.02, 0.98])
+        assert delta.significant and delta.improved and not delta.regressed
+
+    def test_higher_better_drop_regresses(self):
+        delta = compare_samples(
+            "goodput_qps", [100.0, 101.0, 99.0], [50.0, 51.0, 49.0]
+        )
+        assert delta.regressed
+
+    def test_unknown_direction_never_gates(self):
+        delta = compare_samples("front_size", [10.0, 10.0], [3.0, 3.0])
+        assert delta.direction is None
+        assert not delta.regressed and not delta.improved
+
+    def test_best_of_n_points(self):
+        delta = compare_samples("wall_s", [1.0, 5.0], [1.5, 9.0])
+        assert delta.baseline == 1.0  # min-of-N for lower-is-better
+        assert delta.candidate == 1.5
+        delta = compare_samples("goodput_qps", [10.0, 20.0], [5.0, 30.0])
+        assert delta.baseline == 20.0  # max-of-N for higher-is-better
+        assert delta.candidate == 30.0
+
+    def test_single_sample_uses_conservative_fallback(self):
+        small = compare_samples("wall_s", [1.0], [1.3])
+        assert not small.significant  # 30% < 50% fallback threshold
+        assert "single-sample" in small.note
+        big = compare_samples("wall_s", [1.0], [2.2])
+        assert big.significant and big.regressed
+
+    def test_noise_floor_shields_tiny_but_consistent_shifts(self):
+        delta = compare_samples(
+            "wall_s", [1.0, 1.0, 1.0], [1.02, 1.02, 1.02], noise_floor=0.05
+        )
+        assert not delta.significant  # CI excludes 0 but |rel| < floor
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            compare_samples("x", [], [1.0])
+
+
+class TestDetectRegressions:
+    def test_clean_history_passes(self):
+        base = [_rec("bench", "t1", wall_s=1.0 + 0.01 * i) for i in range(3)]
+        cand = [_rec("bench", "t1", wall_s=1.0 + 0.012 * i) for i in range(3)]
+        report = detect_regressions(base, cand)
+        assert report.ok
+        assert report.keys_compared == [("bench", "t1")]
+
+    def test_injected_slowdown_trips_the_gate(self):
+        base = [_rec("bench", "t1", wall_s=1.0 + 0.01 * i) for i in range(3)]
+        cand = [_rec("bench", "t1", wall_s=2.0 + 0.01 * i) for i in range(3)]
+        report = detect_regressions(base, cand)
+        assert not report.ok
+        assert [d.metric for d in report.regressions] == ["wall_s"]
+
+    def test_groups_compare_independently(self):
+        base = [
+            _rec("bench", "fast", wall_s=1.0),
+            _rec("bench", "slow", wall_s=10.0),
+        ]
+        cand = [
+            _rec("bench", "fast", wall_s=1.0),
+            _rec("bench", "slow", wall_s=30.0),
+        ]
+        report = detect_regressions(base, cand)
+        assert [d.key for d in report.regressions] == [("bench", "slow")]
+
+    def test_one_sided_groups_never_gate(self):
+        base = [_rec("bench", "removed", wall_s=1.0)]
+        cand = [_rec("bench", "added", wall_s=99.0)]
+        report = detect_regressions(base, cand)
+        assert report.ok
+        assert report.keys_baseline_only == [("bench", "removed")]
+        assert report.keys_candidate_only == [("bench", "added")]
+
+    def test_metric_subset_and_last_window(self):
+        base = [_rec("serve", "mix", metrics={"p99_ms": 5.0, "goodput_qps": 10.0})
+                for _ in range(2)]
+        cand = [_rec("serve", "mix", metrics={"p99_ms": 50.0, "goodput_qps": 1.0})
+                for _ in range(2)]
+        report = detect_regressions(base, cand, metrics=["goodput_qps"], last=1)
+        assert {d.metric for d in report.deltas} == {"goodput_qps"}
+        assert not report.ok
+
+    def test_include_wall_folds_wall_time_in(self):
+        base = [_rec("bench", "t", wall_s=1.0, metrics={"fps": 10.0})]
+        cand = [_rec("bench", "t", wall_s=1.0, metrics={"fps": 10.0})]
+        with_wall = detect_regressions(base, cand)
+        without = detect_regressions(base, cand, include_wall=False)
+        assert "wall_s" in {d.metric for d in with_wall.deltas}
+        assert "wall_s" not in {d.metric for d in without.deltas}
+
+    def test_to_dict_round_trips_to_json(self):
+        import json
+
+        base = [_rec("bench", "t1", wall_s=1.0)]
+        cand = [_rec("bench", "t1", wall_s=3.0)]
+        doc = json.loads(json.dumps(detect_regressions(base, cand).to_dict()))
+        assert doc["ok"] is False
+        assert doc["regressions"][0]["metric"] == "wall_s"
+
+
+class TestCompareRecords:
+    def test_shared_metrics_only(self):
+        a = _rec("serve", "m", wall_s=1.0, metrics={"p99_ms": 5.0, "only_a": 1.0})
+        b = _rec("serve", "m", wall_s=1.1, metrics={"p99_ms": 5.5, "only_b": 2.0})
+        report = compare_records(a, b)
+        assert {d.metric for d in report.deltas} == {"p99_ms", "wall_s"}
+        assert report.ok  # 10% shifts are below the single-sample threshold
+
+    def test_large_shift_is_flagged(self):
+        a = _rec("serve", "m", metrics={"p99_ms": 5.0})
+        b = _rec("serve", "m", metrics={"p99_ms": 50.0})
+        report = compare_records(a, b)
+        assert not report.ok
+
+
+class TestFormatReport:
+    def test_mentions_regressed_metric(self):
+        base = [_rec("bench", "t1", wall_s=1.0 + 0.01 * i) for i in range(3)]
+        cand = [_rec("bench", "t1", wall_s=2.0 + 0.01 * i) for i in range(3)]
+        text = format_regression_report(detect_regressions(base, cand))
+        assert "REGRESSION: bench/t1:wall_s" in text
+
+    def test_clean_report_says_so(self):
+        base = [_rec("bench", "t1", wall_s=1.0)]
+        cand = [_rec("bench", "t1", wall_s=1.0)]
+        text = format_regression_report(detect_regressions(base, cand))
+        assert "no significant regression" in text
+
+    def test_new_groups_noted(self):
+        report = detect_regressions(
+            [_rec("bench", "old", wall_s=1.0)], [_rec("bench", "new", wall_s=1.0)]
+        )
+        assert "new (ungated) groups: bench/new" in format_regression_report(report)

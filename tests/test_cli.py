@@ -159,7 +159,8 @@ class TestServe:
         assert "6/6 served" in out
 
     def test_serve_is_deterministic(self, capsys):
-        args = ["serve", "--seed", "0", "--tenant", self.TENANT]
+        # --no-ledger: the ledger echo line carries a fresh run id per run.
+        args = ["serve", "--seed", "0", "--tenant", self.TENANT, "--no-ledger"]
         assert main(args) == 0
         first = capsys.readouterr().out
         assert main(args) == 0
@@ -169,9 +170,11 @@ class TestServe:
         """The fast path is bitwise-identical uncontended: everything except
         the replayed-request count must print the same."""
         spec = "model=squeezenet,qps=200,requests=5,input_hw=32,slo_ms=5"
-        assert main(["serve", "--seed", "1", "--tenant", spec]) == 0
+        assert main(["serve", "--seed", "1", "--tenant", spec, "--no-ledger"]) == 0
         fast = capsys.readouterr().out
-        assert main(["serve", "--seed", "1", "--tenant", spec, "--no-replay"]) == 0
+        assert main([
+            "serve", "--seed", "1", "--tenant", spec, "--no-replay", "--no-ledger",
+        ]) == 0
         slow = capsys.readouterr().out
         assert "(0 trace-replayed)" in slow
         assert "(0 trace-replayed)" not in fast
@@ -380,3 +383,238 @@ class TestObservabilityFlags:
             "run", "squeezenet", "--input-hw", "32", "--profile-out", str(out),
         ]) == 0
         assert pstats.Stats(str(out)).total_calls > 0
+
+
+class TestLedgerCli:
+    TENANT = "model=squeezenet,qps=200,requests=3,input_hw=32,slo_ms=5"
+
+    def _serve(self, ledger, seed, capsys):
+        assert main([
+            "serve", "--seed", str(seed), "--tenant", self.TENANT,
+            "--ledger", str(ledger),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ledger: serve-" in out
+        return out
+
+    def test_serve_appends_provenance_stamped_record(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        self._serve(ledger, 0, capsys)
+        (line,) = ledger.read_text().splitlines()
+        record = json.loads(line)
+        assert record["schema"] == 1
+        assert record["kind"] == "serve"
+        assert record["name"] == "fcfs:squeezenet"
+        assert record["seed"] == 0
+        assert record["wall_s"] > 0
+        assert record["provenance"]["python"]
+        assert record["metrics"]["p99_ms"] > 0
+        assert record["metrics"]["goodput_qps"] > 0
+
+    def test_run_appends_record(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        assert main([
+            "run", "squeezenet", "--input-hw", "32", "--ledger", str(ledger),
+        ]) == 0
+        (record,) = [json.loads(l) for l in ledger.read_text().splitlines()]
+        assert record["kind"] == "run" and record["name"] == "squeezenet"
+        assert record["metrics"]["total_cycles"] > 0
+        assert record["config_hash"]
+
+    def test_dse_appends_record(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        ledger = tmp_path / "ledger.jsonl"
+        assert main([
+            "dse", "--strategy", "random", "--budget", "4", "--seed", "0",
+            "--max-dim", "8", "--cache-dir", str(tmp_path / "cache"),
+            "--ledger", str(ledger),
+        ]) == 0
+        records = [json.loads(l) for l in ledger.read_text().splitlines()]
+        (dse,) = [r for r in records if r["kind"] == "dse"]
+        assert dse["name"] == "random:conv"
+        assert dse["metrics"]["evaluations"] == 4
+        assert dse["metrics"]["hypervolume"] > 0
+
+    def test_no_ledger_flag_suppresses_append(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "env.jsonl"))
+        assert main([
+            "serve", "--seed", "0", "--tenant", self.TENANT, "--no-ledger",
+        ]) == 0
+        assert "ledger:" not in capsys.readouterr().out
+        assert not (tmp_path / "env.jsonl").exists()
+
+    def test_history_lists_and_filters(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        self._serve(ledger, 0, capsys)
+        self._serve(ledger, 1, capsys)
+        assert main(["history", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out and "fcfs:squeezenet" in out
+        assert main(["history", "--ledger", str(ledger), "--kind", "dse"]) == 0
+        assert "no matching records" in capsys.readouterr().out
+
+    def test_history_json_and_show(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        self._serve(ledger, 0, capsys)
+        assert main(["history", "--ledger", str(ledger), "--json"]) == 0
+        (record,) = json.loads(capsys.readouterr().out)
+        assert record["provenance"]["python"]
+        assert main(["history", record["run_id"], "--ledger", str(ledger)]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["run_id"] == record["run_id"]
+
+    def test_history_missing_ledger(self, capsys, tmp_path):
+        assert main(["history", "--ledger", str(tmp_path / "none.jsonl")]) == 1
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_compare_two_runs(self, capsys, tmp_path):
+        import json
+        import re
+
+        ledger = tmp_path / "ledger.jsonl"
+        a = re.search(r"ledger: (\S+)", self._serve(ledger, 0, capsys)).group(1)
+        b = re.search(r"ledger: (\S+)", self._serve(ledger, 1, capsys)).group(1)
+        assert main([
+            "compare", a, b, "--ledger", str(ledger),
+            "--metrics", "p50_ms,p95_ms,p99_ms,mean_ms",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no significant regression" in out
+        assert main([
+            "compare", a, b, "--ledger", str(ledger), "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["run_a"]["run_id"] == a and doc["run_b"]["run_id"] == b
+
+    def test_compare_unknown_run_id(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        self._serve(ledger, 0, capsys)
+        assert main(["compare", "zzz", "yyy", "--ledger", str(ledger)]) == 1
+        assert "no ledger record" in capsys.readouterr().err
+
+    def test_regress_gate_trips_on_slow_candidate(self, capsys, tmp_path):
+        """A baseline ledger file vs a candidate ledger with a 3x wall-time
+        slowdown: regress must exit 1 and name the offending metric."""
+        from repro.obs import RunLedger
+
+        base = RunLedger(tmp_path / "base.jsonl")
+        cand = RunLedger(tmp_path / "cand.jsonl")
+        for i in range(3):
+            base.record("bench", "t1", wall_s=1.0 + 0.01 * i)
+            cand.record("bench", "t1", wall_s=3.0 + 0.01 * i)
+        assert main([
+            "regress", "--baseline", str(tmp_path / "base.jsonl"),
+            "--ledger", str(tmp_path / "cand.jsonl"),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: bench/t1:wall_s" in out
+
+    def test_regress_passes_clean_history(self, capsys, tmp_path):
+        from repro.obs import RunLedger
+
+        base = RunLedger(tmp_path / "base.jsonl")
+        cand = RunLedger(tmp_path / "cand.jsonl")
+        for i in range(3):
+            base.record("bench", "t1", wall_s=1.0 + 0.01 * i)
+            cand.record("bench", "t1", wall_s=1.0 + 0.012 * i)
+        assert main([
+            "regress", "--baseline", str(tmp_path / "base.jsonl"),
+            "--ledger", str(tmp_path / "cand.jsonl"),
+        ]) == 0
+        assert "no significant regression" in capsys.readouterr().out
+
+    def test_regress_empty_baseline_gates_nothing(self, capsys, tmp_path):
+        from repro.obs import RunLedger
+
+        RunLedger(tmp_path / "cand.jsonl").record("bench", "t1", wall_s=1.0)
+        assert main([
+            "regress", "--baseline", "no-such-ref",
+            "--ledger", str(tmp_path / "cand.jsonl"),
+        ]) == 0
+        assert "nothing to gate" in capsys.readouterr().out
+
+    def test_regress_json_output(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import RunLedger
+
+        base = RunLedger(tmp_path / "base.jsonl")
+        cand = RunLedger(tmp_path / "cand.jsonl")
+        base.record("bench", "t1", wall_s=1.0)
+        cand.record("bench", "t1", wall_s=5.0)
+        assert main([
+            "regress", "--baseline", str(tmp_path / "base.jsonl"),
+            "--ledger", str(tmp_path / "cand.jsonl"), "--json",
+        ]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["regressions"][0]["metric"] == "wall_s"
+
+
+class TestTraceJsonAndDiff:
+    TENANT = "model=squeezenet,qps=200,requests=3,input_hw=32,slo_ms=5"
+
+    def _trace(self, tmp_path, capsys, name, seed):
+        trace = tmp_path / name
+        assert main([
+            "serve", "--seed", str(seed), "--tenant", self.TENANT,
+            "--trace-out", str(trace), "--no-ledger",
+        ]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_trace_json_summary(self, capsys, tmp_path):
+        import json
+
+        trace = self._trace(tmp_path, capsys, "a.json", 0)
+        assert main(["trace", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["valid"] is True and doc["violations"] == []
+        assert doc["summary"]["span_count"] > 0
+        assert "tenant0" in doc["summary"]["spans"]
+
+    def test_trace_json_invalid_file(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "B", "ts": 0}]}))
+        assert main(["trace", str(bad), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["valid"] is False and doc["violations"]
+
+    def test_trace_diff_text(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys, "a.json", 0)
+        b = self._trace(tmp_path, capsys, "b.json", 1)
+        assert main(["trace", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert "span stems by |total-time delta|" in out
+
+    def test_trace_diff_json(self, capsys, tmp_path):
+        import json
+
+        a = self._trace(tmp_path, capsys, "a.json", 0)
+        b = self._trace(tmp_path, capsys, "b.json", 1)
+        assert main(["trace", "--diff", str(a), str(b), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["valid"] is True
+        assert doc["spans"] and doc["lanes"]
+
+    def test_trace_diff_needs_two_files(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys, "a.json", 0)
+        with pytest.raises(SystemExit):
+            main(["trace", "--diff", str(a)])
+
+    def test_trace_rejects_extra_files_without_diff(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys, "a.json", 0)
+        with pytest.raises(SystemExit):
+            main(["trace", str(a), str(a)])
