@@ -1,0 +1,108 @@
+"""Event-queue serving engine vs the lockstep-merge baseline.
+
+The two-tenant serving study (Fig. 9c spirit) runs once through the
+historical lockstep driver — which materialises every arrival up front
+and round-robins generator frames across all tiles — and once through
+the incremental event engine, which admits requests lazily from the
+streaming arrival sources and retires them online.
+
+The contract is strict: the two engines must produce **bitwise
+identical** request logs, reports, and memory counters; the event engine
+buys its O(in-flight + tenants) working set for free.  The benchmark
+records the wall-time ratio and the peak pending/in-flight request
+counts; CI reads ``extra_info`` from the BENCH JSON and fails on any
+parity mismatch or when ``peak_pending`` reaches the issued-request
+total (the signature of eager materialisation creeping back in), and
+the ledger's statistical gate (``regress --baseline``) watches the wall
+times across runs.
+"""
+
+import time
+
+from benchmarks.conftest import FAST
+from repro.eval.report import format_table
+from repro.serve import TenantSpec, TrafficProfile, simulate_serving
+
+REQUESTS = 24 if FAST else 48
+QPS = 120.0
+SEED = 3
+
+STUDY = TrafficProfile(
+    tenants=(
+        TenantSpec(
+            name="web",
+            model="squeezenet",
+            arrival="poisson",
+            rate_qps=QPS,
+            num_requests=REQUESTS,
+            input_hw=32,
+            slo_ms=10.0,
+        ),
+        TenantSpec(
+            name="batchy",
+            model="mobilenetv2",
+            arrival="closed",
+            num_requests=REQUESTS,
+            concurrency=2,
+            think_ms=0.5,
+            input_hw=32,
+            slo_ms=20.0,
+        ),
+    ),
+    num_tiles=2,
+    seed=SEED,
+)
+
+
+def _timed(engine):
+    t0 = time.perf_counter()
+    result = simulate_serving(STUDY, engine=engine)
+    return result, time.perf_counter() - t0
+
+
+def test_serve_engine_parity_and_memory(benchmark, emit):
+    lockstep, t_lockstep = _timed("lockstep")
+    event, t_event = _timed("event")
+
+    parity_ok = (
+        event.records == lockstep.records
+        and event.report.overall.summary() == lockstep.report.overall.summary()
+        and event.makespan_cycles == lockstep.makespan_cycles
+        and event.l2_miss_rate == lockstep.l2_miss_rate
+        and event.dram_bytes == lockstep.dram_bytes
+        and event.issued == lockstep.issued
+        and event.dropped == lockstep.dropped
+    )
+    wall_ratio = t_event / t_lockstep
+
+    benchmark.extra_info["requests_per_tenant"] = REQUESTS
+    benchmark.extra_info["issued"] = event.issued
+    benchmark.extra_info["lockstep_s"] = t_lockstep
+    benchmark.extra_info["event_s"] = t_event
+    benchmark.extra_info["wall_ratio"] = wall_ratio
+    benchmark.extra_info["peak_pending"] = event.peak_pending
+    benchmark.extra_info["peak_inflight"] = event.peak_inflight
+    benchmark.extra_info["parity_ok"] = bool(parity_ok)
+
+    # The recorded timing sample: a fresh event-engine run end to end.
+    benchmark.pedantic(lambda: simulate_serving(STUDY, engine="event"), rounds=1, iterations=1)
+
+    text = format_table(
+        ["engine", "wall s", "peak pending", "peak in-flight"],
+        [
+            ("lockstep", f"{t_lockstep:.2f}", str(lockstep.peak_pending), str(lockstep.peak_inflight)),
+            ("event", f"{t_event:.2f}", str(event.peak_pending), str(event.peak_inflight)),
+        ],
+        title=(
+            f"serving engines ({REQUESTS} req/tenant): event at "
+            f"{wall_ratio:.2f}x lockstep wall time, pending bounded at "
+            f"{event.peak_pending}/{event.issued} issued"
+        ),
+    )
+    emit("serve_engine", text)
+
+    assert parity_ok, "event engine diverged from the lockstep baseline"
+    assert event.peak_pending < event.issued, (
+        f"streaming admission held {event.peak_pending} of {event.issued} "
+        "issued requests — arrivals are being materialised eagerly"
+    )

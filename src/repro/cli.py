@@ -578,80 +578,124 @@ def cmd_dse(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.serve import (
+        ServingSimulation,
         TrafficProfile,
         export_serve_csv,
         export_serve_json,
         load_trace_profile,
         parse_tenant,
         serve_table,
-        simulate_serving,
     )
 
-    design = None
-    if args.design:
-        from pathlib import Path
-
-        from repro.soc.components import SoCDesign
-
-        design = SoCDesign.from_json(Path(args.design).read_text())
-        if args.tiles not in (1, design.num_tiles):
-            args.parser.error(
-                f"--tiles {args.tiles} contradicts the design's "
-                f"{design.num_tiles} tiles (omit --tiles with --design)"
-            )
-        args.tiles = design.num_tiles
-    config = _config_from_args(args)
-    profile_kwargs = dict(
-        num_tiles=args.tiles,
-        scheduler=args.scheduler,
-        seed=args.seed,
-        horizon_ms=args.horizon_ms,
-        batch_size=args.batch_size,
-        batch_window_ms=args.batch_window_ms,
+    if args.horizon_hours is not None and args.horizon_ms is not None:
+        args.parser.error("pass --horizon-ms or --horizon-hours, not both")
+    if args.checkpoint_every is not None and args.engine != "event":
+        args.parser.error("--checkpoint-every requires --engine event")
+    record_mode = args.record_mode or (
+        "stream" if args.horizon_hours is not None else "exact"
     )
-    if args.trace:
-        profile = load_trace_profile(args.trace, **profile_kwargs)
-    else:
-        if not args.tenant:
-            args.parser.error("serve needs at least one --tenant (or --trace FILE)")
-        tenants = tuple(
-            parse_tenant(text, default_name=f"tenant{i}") for i, text in enumerate(args.tenant)
-        )
-        profile = TrafficProfile(tenants=tenants, **profile_kwargs)
 
     from repro.obs import new_run_id
     from repro.obs.metrics import NULL_METRICS, MetricStream
     from repro.obs.tracer import NULL_TRACER, Tracer
 
-    run_id = new_run_id("serve")
-    clock_ghz = design.clock_ghz if design is not None else config.clock_ghz
-    tracer = (
-        Tracer.for_cycles(clock_ghz, run_id=run_id, seed=profile.seed)
-        if args.trace_out
-        else NULL_TRACER
-    )
-    if args.metrics_out or args.live_metrics:
-        metrics = MetricStream(
-            every=args.live_metrics or 64,
-            on_snapshot=_live_printer("serve") if args.live_metrics else None,
-            run_id=run_id,
-            seed=profile.seed,
-        )
+    if args.resume:
+        from repro.serve.checkpoint import load_checkpoint
+
+        if args.tenant or args.trace:
+            args.parser.error(
+                "--resume restores the checkpointed profile; drop --tenant/--trace"
+            )
+        sim = load_checkpoint(args.resume)
+        if args.checkpoint_every is not None:
+            sim.checkpoint_every = args.checkpoint_every
+        if sim.checkpoint_every is not None:
+            sim.checkpoint_path = args.checkpoint_path or args.resume
+        profile = sim.profile
+        design = sim.design
+        config = sim.gemmini
+        tracer = sim.tracer
+        metrics = sim.metrics
+        if args.live_metrics and metrics is not NULL_METRICS:
+            metrics.on_snapshot = _live_printer("serve")
+        run_id = getattr(tracer, "run_id", None) or new_run_id("serve")
+        print(f"resuming: {args.resume}")
+        wall_t0 = time.perf_counter()
+        with _maybe_profile(args.profile, args.profile_out):
+            result = sim.run()
+        wall_s = time.perf_counter() - wall_t0
     else:
-        metrics = NULL_METRICS
-    wall_t0 = time.perf_counter()
-    with _maybe_profile(args.profile, args.profile_out):
-        if design is not None:
-            result = simulate_serving(
-                profile, design=design, replay=not args.no_replay,
-                tracer=tracer, metrics=metrics,
+        design = None
+        if args.design:
+            from pathlib import Path
+
+            from repro.soc.components import SoCDesign
+
+            design = SoCDesign.from_json(Path(args.design).read_text())
+            if args.tiles not in (1, design.num_tiles):
+                args.parser.error(
+                    f"--tiles {args.tiles} contradicts the design's "
+                    f"{design.num_tiles} tiles (omit --tiles with --design)"
+                )
+            args.tiles = design.num_tiles
+        config = _config_from_args(args)
+        horizon_ms = args.horizon_ms
+        if args.horizon_hours is not None:
+            horizon_ms = args.horizon_hours * 3_600_000.0
+        profile_kwargs = dict(
+            num_tiles=args.tiles,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            horizon_ms=horizon_ms,
+            batch_size=args.batch_size,
+            batch_window_ms=args.batch_window_ms,
+        )
+        if args.trace:
+            profile = load_trace_profile(args.trace, **profile_kwargs)
+        else:
+            if not args.tenant:
+                args.parser.error("serve needs at least one --tenant (or --trace FILE)")
+            tenants = tuple(
+                parse_tenant(text, default_name=f"tenant{i}")
+                for i, text in enumerate(args.tenant)
+            )
+            profile = TrafficProfile(tenants=tenants, **profile_kwargs)
+
+        run_id = new_run_id("serve")
+        clock_ghz = design.clock_ghz if design is not None else config.clock_ghz
+        tracer = (
+            Tracer.for_cycles(clock_ghz, run_id=run_id, seed=profile.seed)
+            if args.trace_out
+            else NULL_TRACER
+        )
+        if args.metrics_out or args.live_metrics:
+            metrics = MetricStream(
+                every=args.live_metrics or 64,
+                on_snapshot=_live_printer("serve") if args.live_metrics else None,
+                run_id=run_id,
+                seed=profile.seed,
             )
         else:
-            result = simulate_serving(
-                profile, gemmini=config, replay=not args.no_replay,
-                tracer=tracer, metrics=metrics,
-            )
-    wall_s = time.perf_counter() - wall_t0
+            metrics = NULL_METRICS
+        checkpoint_path = args.checkpoint_path
+        if args.checkpoint_every is not None and checkpoint_path is None:
+            checkpoint_path = "serve.ckpt"
+        soc_kwargs = {"design": design} if design is not None else {"gemmini": config}
+        sim = ServingSimulation(
+            profile,
+            replay=not args.no_replay,
+            tracer=tracer,
+            metrics=metrics,
+            engine=args.engine,
+            record_mode=record_mode,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            **soc_kwargs,
+        )
+        wall_t0 = time.perf_counter()
+        with _maybe_profile(args.profile, args.profile_out):
+            result = sim.run()
+        wall_s = time.perf_counter() - wall_t0
 
     print(f"seed: {profile.seed}")
     if design is not None:
@@ -671,6 +715,8 @@ def cmd_serve(args) -> int:
         f"memory: L2 miss {result.l2_miss_rate:.1%}, "
         f"DRAM {result.dram_bytes / 1e6:.1f} MB over {report.makespan_ms:.1f} ms"
     )
+    if result.checkpoints:
+        print(f"checkpoints: {result.checkpoints} written to {sim.checkpoint_path}")
     if args.export_json:
         print(f"wrote {export_serve_json(result, args.export_json)}")
     if args.export_csv:
@@ -691,6 +737,8 @@ def cmd_serve(args) -> int:
         "dram_bytes": result.dram_bytes,
         "issued": result.issued,
         "replayed": result.replayed,
+        "peak_inflight": result.peak_inflight,
+        "peak_pending": result.peak_pending,
     })
     ledger = _ledger_from_args(args)
     record = ledger.record(
@@ -1126,6 +1174,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0, help="traffic RNG seed")
     p_serve.add_argument(
         "--horizon-ms", type=float, default=None, help="stop issuing work at this time"
+    )
+    p_serve.add_argument(
+        "--horizon-hours",
+        type=float,
+        default=None,
+        help="long-horizon mode: stop issuing at this simulated wall-clock "
+        "time; implies --record-mode stream (O(in-flight) memory)",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=("event", "lockstep"),
+        default="event",
+        help="cluster driver: the incremental event loop (streaming arrivals, "
+        "O(in-flight) memory) or the historical lockstep baseline",
+    )
+    p_serve.add_argument(
+        "--record-mode",
+        choices=("exact", "stream"),
+        default=None,
+        help="per-request record retention: exact histograms + full request "
+        "log (default) or streaming P2 latency sketches with no record list "
+        "(default under --horizon-hours)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a resumable checkpoint at the first quiescent point "
+        "after every N completions (event engine only)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-path",
+        default=None,
+        metavar="FILE",
+        help="checkpoint file (default serve.ckpt, or the --resume path)",
+    )
+    p_serve.add_argument(
+        "--resume",
+        default=None,
+        metavar="FILE",
+        help="load a checkpointed serving run and continue it to completion "
+        "(ignores --tenant/--trace/--design; the profile is in the checkpoint)",
     )
     p_serve.add_argument("--batch-size", type=int, default=4, help="batch scheduler: batch size")
     p_serve.add_argument(

@@ -1,18 +1,26 @@
 """Multi-tenant inference-serving simulation with SLO-aware scheduling.
 
 The traffic-driven evaluation axis on top of the full-SoC machinery:
-per-tenant workload generators (:mod:`repro.serve.workload`), dispatch
-policies (:mod:`repro.serve.scheduler`), a cluster engine that interleaves
-per-tile runtimes through :func:`~repro.sim.engine.lockstep_merge` so
-queueing composes with shared L2/DRAM/TLB contention
-(:mod:`repro.serve.cluster`), and tail-latency/goodput/fairness SLO
-metrics (:mod:`repro.serve.metrics`).  Results export to JSON/CSV
-(:mod:`repro.serve.export`); the ``p99_latency_ms`` / ``goodput_qps`` /
-``qps_per_watt`` / ``slo_violation_rate`` DSE objectives make a design
-point searchable *under a traffic profile*.
+per-tenant arrival sources (:mod:`repro.serve.workload`) stream requests
+on demand, dispatch policies (:mod:`repro.serve.scheduler`) pick what
+runs next, and an incremental event-queue engine
+(:mod:`repro.serve.cluster`) steps whichever tile is furthest behind so
+queueing composes with shared L2/DRAM/TLB contention while holding only
+O(in-flight + tenants) state.  The historical lockstep driver
+(``engine="lockstep"``, built on :func:`~repro.sim.engine.lockstep_merge`)
+is kept as a bitwise-identical baseline.  Tail-latency/goodput/fairness
+SLO metrics fold online (:mod:`repro.serve.metrics` — exact histograms or
+streaming P2 sketches); long runs can checkpoint at quiescent points and
+resume bitwise (:mod:`repro.serve.checkpoint`).  Results export to
+JSON/CSV (:mod:`repro.serve.export`); the ``p99_latency_ms`` /
+``goodput_qps`` / ``qps_per_watt`` / ``slo_violation_rate`` DSE
+objectives make a design point searchable *under a traffic profile*.
 """
 
+from repro.serve.checkpoint import load_checkpoint, save_checkpoint
 from repro.serve.cluster import (
+    ENGINES,
+    RECORD_MODES,
     ServeResult,
     ServingSimulation,
     estimate_service_cycles,
@@ -24,7 +32,14 @@ from repro.serve.export import (
     serve_table,
     serve_to_dict,
 )
-from repro.serve.metrics import ServeReport, TenantMetrics, build_report, jain_fairness
+from repro.serve.metrics import (
+    LatencySketch,
+    ReportAccumulator,
+    ServeReport,
+    TenantMetrics,
+    build_report,
+    jain_fairness,
+)
 from repro.serve.request import Request, RequestRecord
 from repro.serve.scheduler import (
     SCHEDULERS,
@@ -50,13 +65,17 @@ from repro.serve.workload import (
 
 __all__ = [
     "ARRIVAL_KINDS",
+    "ENGINES",
+    "RECORD_MODES",
     "SCHEDULERS",
     "ArrivalSource",
     "BatchScheduler",
     "ClosedLoopSource",
     "FCFSScheduler",
+    "LatencySketch",
     "OpenLoopSource",
     "PriorityScheduler",
+    "ReportAccumulator",
     "Request",
     "RequestRecord",
     "RoundRobinScheduler",
@@ -73,10 +92,12 @@ __all__ = [
     "export_serve_csv",
     "export_serve_json",
     "jain_fairness",
+    "load_checkpoint",
     "load_trace_profile",
     "make_scheduler",
     "make_source",
     "parse_tenant",
+    "save_checkpoint",
     "serve_table",
     "serve_to_dict",
     "simulate_serving",

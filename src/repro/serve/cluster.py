@@ -1,37 +1,55 @@
 """The cluster engine: traffic-driven execution on a multi-tile SoC.
 
-Each SoC tile runs as one generator (:meth:`ServingSimulation._tile_worker`)
-that alternates between idling toward the next known event and executing a
-scheduled request by driving that request's bound
-:class:`~repro.sw.runtime.Runtime` macro-op stream.  All tile workers are
-interleaved by :func:`~repro.sim.engine.lockstep_merge`, so a request's
-queueing delay *composes* with the modeled shared-resource contention: two
-tenants on different tiles slow each other down through the shared L2, the
-DRAM channel and the (optionally shared) page-table walker, exactly the
-mechanism behind the paper's Figure 9c dual-controller study — here driven
-by open- or closed-loop traffic instead of a single run-to-completion.
+Each SoC tile runs as one :class:`_TileActor` — a resumable state machine
+that alternates between idling toward the next known event and executing
+a scheduled request by driving that request's bound
+:class:`~repro.sw.runtime.Runtime` macro-op stream.  Actors share a
+single event heap (:class:`~repro.sim.engine.EventLoop`) keyed by each
+tile's next-event time, so a request's queueing delay *composes* with the
+modeled shared-resource contention: two tenants on different tiles slow
+each other down through the shared L2, the DRAM channel and the
+(optionally shared) page-table walker, exactly the mechanism behind the
+paper's Figure 9c dual-controller study — here driven by open- or
+closed-loop traffic instead of a single run-to-completion.
+
+Two engines drive the same actor logic:
+
+* ``engine="event"`` (default) — the incremental event loop.  Arrivals
+  are admitted *lazily*, one pending arrival per tenant pulled from the
+  streaming :class:`~repro.serve.workload.ArrivalSource`s, and retired
+  requests fold straight into the report accumulator, so peak memory is
+  O(in-flight + tenants) rather than O(trace).  Only this engine supports
+  checkpoint/resume: every ``checkpoint_every`` completions the actors
+  park at their next dispatch point (no generator frames live, nothing
+  in flight) and the whole simulation pickles to ``checkpoint_path``.
+* ``engine="lockstep"`` — the historical path: every tenant's full
+  arrival list materialized up-front and the actors interleaved through
+  :func:`~repro.sim.engine.lockstep_merge`.  Kept as the O(trace)
+  baseline the parity suite and the engine benchmarks compare against.
 
 Determinism: arrivals are seeded per tenant, schedulers tie-break on
-``(arrival, tenant, index)``, and ``lockstep_merge`` resolves equal clocks
-by tile index, so a fixed ``(profile, config, seed)`` reproduces the exact
-request log and latency distribution.
+``(arrival, tenant, index)``, and the event heap resolves equal clocks by
+tile index, so a fixed ``(profile, config, seed)`` reproduces the exact
+request log and latency distribution — bitwise identically on either
+engine, parked or uninterrupted.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Generator
 
 from repro.core.config import GemminiConfig
 from repro.mem.hierarchy import MemorySystemConfig
 from repro.obs.metrics import NULL_METRICS, MetricStream
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.serve.metrics import ServeReport, build_report
+from repro.serve.metrics import ReportAccumulator, ServeReport
 from repro.serve.request import ModelKey, Request, RequestRecord
 from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.workload import TenantSpec, TrafficProfile, make_source, requests_for
-from repro.sim.engine import lockstep_merge
+from repro.sim.engine import EventLoop, lockstep_merge
 from repro.sim.trace import SEGMENT_OPS, TraceRecorder, record_steady_state_trace
 from repro.soc.components import SoCDesign
 from repro.soc.os_model import OSConfig
@@ -39,6 +57,12 @@ from repro.soc.soc import SoC
 from repro.sw.runtime import Runtime
 
 __all__ = ["ServeResult", "ServingSimulation", "simulate_serving", "estimate_service_cycles"]
+
+#: the two cluster drivers (see the module docstring)
+ENGINES = ("event", "lockstep")
+#: record retention: "exact" keeps every RequestRecord + exact histograms,
+#: "stream" retires records into P² sketches and keeps none
+RECORD_MODES = ("exact", "stream")
 
 #: Analytic service-cycle estimates keyed by (model, input_hw, seq, config).
 #: The estimate rebuilds the model graph and walks every layer's closed-form
@@ -89,9 +113,21 @@ class ServeResult:
     dram_bytes: int = 0
     #: requests served from a macro-op trace replay (0 with ``replay=False``)
     replayed: int = 0
+    #: retirements counted online; -1 means "derive from records" (manual
+    #: constructions) — streaming record mode keeps no records at all
+    completed_total: int = -1
+    #: high-water mark of concurrently executing requests
+    peak_inflight: int = 0
+    #: high-water mark of tracked request state (arrival heap + ready
+    #: queue + in-flight) — the O(in-flight) memory claim, measurable
+    peak_pending: int = 0
+    #: checkpoints written during the run
+    checkpoints: int = 0
 
     @property
     def completed(self) -> int:
+        if self.completed_total >= 0:
+            return self.completed_total
         return len(self.records)
 
 
@@ -133,6 +169,257 @@ class _TraceSlot:
         return slot
 
 
+class _Inflight:
+    """Context of the request one tile is currently executing.
+
+    Exists only while the tile's macro-op stream is live — a checkpoint
+    barrier requires every tile to have retired its ``_Inflight`` (and
+    the generator frames inside it) before the simulation pickles.
+    """
+
+    __slots__ = ("request", "start", "finish", "recorder", "slot", "replayed", "runtime")
+
+    def __init__(self, request, start, recorder, slot, replayed, runtime) -> None:
+        self.request = request
+        self.start = start
+        self.finish = start
+        self.recorder = recorder
+        self.slot = slot
+        self.replayed = replayed
+        self.runtime = runtime
+
+
+class _TileActor:
+    """One tile as a resumable event-loop actor.
+
+    The historical per-tile generator, unrolled into an explicit state
+    machine so the same logic drives both engines: the event loop steps it
+    directly, the lockstep path wraps it back into a generator.  A step
+    either advances the in-flight macro-op stream by one event, or — at a
+    *dispatch point* (no stream live) — releases arrivals, picks work and
+    starts it.  Retirement and the next dispatch happen inside one step,
+    preserving the generator's atomicity between yields.
+
+    Dispatch points are also where the actor honors a pending checkpoint
+    request by parking: it returns ``None`` without mutating anything, so
+    re-entering the heap at the same ``(clock, index)`` later replays the
+    uninterrupted schedule bitwise.  Parked actors hold no generator
+    frames (``stream`` is None), which is what makes the simulation
+    picklable at a barrier.
+    """
+
+    __slots__ = ("sim", "tile_index", "clock", "stream", "inflight", "done", "parked")
+
+    def __init__(self, sim: "ServingSimulation", tile_index: int) -> None:
+        self.sim = sim
+        self.tile_index = tile_index
+        self.clock = sim.soc.tiles[tile_index].accel.controller.now
+        self.stream = None  # live macro-op iterator (never survives a pickle)
+        self.inflight: _Inflight | None = None
+        self.done = False
+        self.parked = False
+
+    def _advance(self, t: float | None) -> float | None:
+        """Fold one stream event into the tile clock; None = stream ended."""
+        if t is None:
+            return None
+        self.inflight.finish = t
+        if t > self.clock:
+            self.clock = t
+        return self.clock
+
+    def step(self) -> float | None:
+        sim = self.sim
+        if self.stream is not None:
+            now = self._advance(next(self.stream, None))
+            if now is not None:
+                return now
+            sim._retire(self)
+        while sim._completed + sim._inflight < sim._expected:
+            if sim._horizon is not None and self.clock >= sim._horizon:
+                break
+            if sim._park_requested:
+                self.parked = True
+                return None
+            sim._arrivals.release(self.clock)
+            request = sim.scheduler.pick(self.tile_index, self.clock)
+            if request is None:
+                target = sim._next_event(self.tile_index, self.clock)
+                if target is None:
+                    if sim._inflight == 0:
+                        break  # nothing queued, nothing coming: drained
+                    # A closed-loop follow-up may appear when another tile
+                    # completes; re-check on a bounded idle tick.
+                    target = self.clock + sim.idle_quantum
+                else:
+                    target = min(target, self.clock + sim.idle_quantum)
+                # Guarantee forward progress even when an event is "now":
+                # a pick that failed at this clock cannot succeed at it.
+                self.clock = max(target, self.clock + 1.0)
+                return self.clock
+            sim._dispatch(self, request)
+            now = self._advance(next(self.stream, None))
+            if now is not None:
+                return now
+            sim._retire(self)  # a zero-event stream retires immediately
+        self.done = True
+        return None
+
+
+class _EagerArrivals:
+    """O(trace) arrival plumbing: every pre-scheduled arrival materialized
+    up-front into one global heap (the historical lockstep behavior).
+
+    Pops order by ``(time, push sequence)``; since tenants push their full
+    sorted streams in declaration order and follow-ups push afterwards,
+    ties resolve initial-before-follow-up, tenant declaration order, then
+    per-tenant index — the ordering :class:`_StreamingArrivals` reproduces
+    lazily.
+    """
+
+    def __init__(self, sim: "ServingSimulation") -> None:
+        self.sim = sim
+        self._heap: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def prime(self) -> None:
+        for spec in self.sim.profile.tenants:
+            self._push(spec, self.sim._sources[spec.name].initial_times())
+
+    def _push(self, spec: TenantSpec, times: list[float]) -> None:
+        sim = self.sim
+        start = sim._next_index.get(spec.name, 0)
+        requests = requests_for(
+            spec,
+            times,
+            start_index=start,
+            cost_hint=sim._cost_hint(spec),
+            clock_ghz=sim.clock_ghz,
+        )
+        sim._next_index[spec.name] = start + len(requests)
+        lane = f"tenant:{spec.name}"
+        for request in requests:
+            heapq.heappush(self._heap, (request.arrival, self._seq, request))
+            self._seq += 1
+            sim.tracer.instant(lane, "arrival", request.arrival, {"index": request.index})
+
+    def push_followup(self, spec: TenantSpec, time: float) -> None:
+        self._push(spec, [time])
+
+    def release(self, now: float) -> None:
+        """Move every request that has arrived by ``now`` into the queue."""
+        sim = self.sim
+        while self._heap and self._heap[0][0] <= now:
+            __, __, request = heapq.heappop(self._heap)
+            sim.scheduler.add(request)
+        sim._note_peak()
+
+    def peek(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def drain(self):
+        """Yield the tenant of every arrival never released (drop tally)."""
+        while self._heap:
+            __, __, request = heapq.heappop(self._heap)
+            yield request.tenant
+
+
+class _StreamingArrivals:
+    """O(tenants + pending follow-ups) arrival plumbing (the event engine).
+
+    Holds exactly one pending pre-scheduled arrival per tenant — pulled
+    from the tenant's :meth:`~repro.serve.workload.ArrivalSource
+    .next_arrival` stream only when the previous one is released — plus
+    any completion-triggered follow-ups.  The heap key ``(time, gen,
+    tenant declaration index, request index)`` with ``gen=0`` for stream
+    arrivals and a global push counter for follow-ups reproduces the
+    eager ordering exactly: stream arrivals beat same-time follow-ups
+    (they were pushed first historically), same-time stream arrivals
+    resolve by tenant declaration then index, and same-time follow-ups by
+    push order.
+    """
+
+    def __init__(self, sim: "ServingSimulation") -> None:
+        self.sim = sim
+        self._heap: list[tuple[float, int, int, int, Request]] = []
+        self._followup_gen = 0
+        self._tenant_order = {t.name: i for i, t in enumerate(sim.profile.tenants)}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def prime(self) -> None:
+        for spec in self.sim.profile.tenants:
+            self._pull(spec)
+
+    def _build(self, spec: TenantSpec, time: float) -> Request:
+        sim = self.sim
+        start = sim._next_index.get(spec.name, 0)
+        [request] = requests_for(
+            spec,
+            [time],
+            start_index=start,
+            cost_hint=sim._cost_hint(spec),
+            clock_ghz=sim.clock_ghz,
+        )
+        sim._next_index[spec.name] = start + 1
+        sim.tracer.instant(
+            f"tenant:{spec.name}", "arrival", request.arrival, {"index": request.index}
+        )
+        return request
+
+    def _pull(self, spec: TenantSpec) -> None:
+        time = self.sim._sources[spec.name].next_arrival()
+        if time is None:
+            return
+        request = self._build(spec, time)
+        heapq.heappush(
+            self._heap,
+            (request.arrival, 0, self._tenant_order[spec.name], request.index, request),
+        )
+
+    def push_followup(self, spec: TenantSpec, time: float) -> None:
+        request = self._build(spec, time)
+        self._followup_gen += 1
+        heapq.heappush(
+            self._heap,
+            (
+                request.arrival,
+                self._followup_gen,
+                self._tenant_order[spec.name],
+                request.index,
+                request,
+            ),
+        )
+
+    def release(self, now: float) -> None:
+        """Admit every arrival due by ``now``, refilling released streams."""
+        sim = self.sim
+        while self._heap and self._heap[0][0] <= now:
+            __, gen, __, __, request = heapq.heappop(self._heap)
+            sim.scheduler.add(request)
+            if gen == 0:
+                self._pull(sim._specs[request.tenant])
+        sim._note_peak()
+
+    def peek(self) -> float | None:
+        # Per-tenant streams are non-decreasing, so the earliest pending
+        # entry is the true global next arrival.
+        return self._heap[0][0] if self._heap else None
+
+    def drain(self):
+        """Tenants of pending *and never-pulled* arrivals (drop tally)."""
+        while self._heap:
+            request = heapq.heappop(self._heap)[-1]
+            yield request.tenant
+        for spec in self.sim.profile.tenants:
+            for __ in range(self.sim._sources[spec.name].remaining_initial):
+                yield spec.name
+
+
 class ServingSimulation:
     """Bind one traffic profile to one SoC configuration and run it.
 
@@ -146,6 +433,12 @@ class ServingSimulation:
     contended segments re-resolved against the live shared L2/DRAM/TLB via
     the batched memory-model entry points.  ``replay=False`` forces every
     request down the recording (full-fidelity) path.
+
+    ``engine``/``record_mode`` select the driver and record retention (see
+    the module docstring); ``checkpoint_every=N`` parks the event engine
+    every N completions and — with ``checkpoint_path`` — pickles the whole
+    simulation there, resumable via
+    :func:`repro.serve.checkpoint.load_checkpoint`.
     """
 
     #: idle re-check interval while waiting on another tile's completion
@@ -166,9 +459,31 @@ class ServingSimulation:
         design: SoCDesign | None = None,
         tracer: Tracer | None = None,
         metrics: MetricStream | None = None,
+        engine: str = "event",
+        record_mode: str = "exact",
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | Path | None = None,
     ) -> None:
         from repro.core.config import default_config
 
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if record_mode not in RECORD_MODES:
+            raise ValueError(
+                f"record_mode must be one of {RECORD_MODES}, got {record_mode!r}"
+            )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if engine != "event":
+                raise ValueError(
+                    "checkpointing needs the event engine (lockstep generator "
+                    "frames cannot be pickled)"
+                )
+        self.engine = engine
+        self.record_mode = record_mode
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = str(checkpoint_path) if checkpoint_path is not None else None
         #: telemetry sinks — the null singletons keep every emission site
         #: an unconditional (no-op) call on the disabled path
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -234,6 +549,7 @@ class ServingSimulation:
         self._tile_last_model: dict[int, ModelKey] = {}
         horizon = profile.horizon_ms
         self._horizon = horizon * self.clock_ghz * 1e6 if horizon is not None else None
+        self._started = False
 
     # ------------------------------------------------------------------ #
     # Model binding                                                        #
@@ -350,91 +666,230 @@ class ServingSimulation:
                 f"tenant:{spec.name}", process="traffic", label=spec.name, sort=i
             )
 
-    def run(self) -> ServeResult:
+    def _start(self) -> None:
+        """Initialize run state: sources, arrival plumbing, tile actors."""
         profile = self.profile
         self._declare_lanes()
-        self._records: list[RequestRecord] = []
+        exact = self.record_mode == "exact"
+        self._records: list[RequestRecord] | None = [] if exact else None
+        self._accumulator = ReportAccumulator(profile.tenants, self.clock_ghz, exact=exact)
+        self._completed = 0
+        self._last_finish = 0.0
         self._inflight = 0
         self._replayed = 0
-        self._arrivals: list[tuple[float, int, Request]] = []  # (time, seq, request)
-        self._arrival_seq = 0
-        self._sources = {}
+        self.peak_inflight = 0
+        self.peak_pending = 0
+        self._sources = {
+            t.name: make_source(t, profile.seed, self.clock_ghz) for t in profile.tenants
+        }
         self._next_index: dict[str, int] = {}
-        self._expected = 0
+        self._expected = sum(t.total_requests for t in profile.tenants)
+        arrivals = _EagerArrivals if self.engine == "lockstep" else _StreamingArrivals
+        self._arrivals = arrivals(self)
+        self._arrivals.prime()
+        self._actors = [_TileActor(self, index) for index in range(self.num_tiles)]
+        self._park_requested = False
+        self._since_checkpoint = 0
+        self._checkpoints_written = 0
+        #: once actors carry real clocks, re-entering the heap must defer
+        #: their first step instead of re-priming them
+        self._mid_run = False
+        self._started = True
 
-        for spec in profile.tenants:
-            source = make_source(spec, profile.seed, self.clock_ghz)
-            self._sources[spec.name] = source
-            times = source.initial_times()
-            self._push_requests(spec, times)
-            self._expected += spec.total_requests
+    def run(self, stop_after_checkpoints: int | None = None) -> ServeResult | None:
+        """Run (or, on a loaded checkpoint, continue) the simulation.
 
-        ends = lockstep_merge(
-            [self._tile_worker(index) for index in range(self.num_tiles)]
-        )
+        ``stop_after_checkpoints=N`` halts the event engine after writing
+        N more checkpoints and returns None — the simulated-kill hook the
+        resume tests and CI smoke use; resume via
+        :func:`repro.serve.checkpoint.load_checkpoint` + ``run()``.
+        """
+        if not self._started:
+            self._start()
+        if self.engine == "lockstep":
+            lockstep_merge([self._tile_worker(index) for index in range(self.num_tiles)])
+        elif not self._run_event_loop(stop_after_checkpoints):
+            return None
+        return self._build_result()
+
+    def _tile_worker(self, tile_index: int) -> Generator[float, None, None]:
+        """The actor as a generator — the lockstep engine's historical API."""
+        actor = self._actors[tile_index]
+        while (now := actor.step()) is not None:
+            yield now
+
+    def _run_event_loop(self, stop_after_checkpoints: int | None) -> bool:
+        """Drive the actors through event-loop legs separated by checkpoint
+        barriers; False = halted early by ``stop_after_checkpoints``."""
+        saved = 0
+        while True:
+            loop = EventLoop()
+            for actor in self._actors:
+                if actor.done:
+                    continue
+                actor.parked = False
+                if self._mid_run:
+                    # Resumed actors re-enter at their parked (clock, index)
+                    # heap position; priming them again would double-step.
+                    loop.add(actor, index=actor.tile_index, clock=actor.clock)
+                else:
+                    loop.add(actor, index=actor.tile_index)
+            self._mid_run = True
+            loop.run()
+            if not any(actor.parked for actor in self._actors):
+                return True
+            if self._inflight:
+                raise RuntimeError(
+                    f"checkpoint barrier reached with {self._inflight} in flight"
+                )
+            self._park_requested = False
+            self._since_checkpoint = 0
+            self._checkpoints_written += 1
+            self._save_checkpoint()
+            saved += 1
+            if stop_after_checkpoints is not None and saved >= stop_after_checkpoints:
+                return False
+
+    def _save_checkpoint(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        from repro.serve.checkpoint import save_checkpoint
+
+        save_checkpoint(self, self.checkpoint_path)
+
+    def _build_result(self) -> ServeResult:
         # Makespan is the last completion; idle workers overshoot it by up
-        # to one idle tick, so worker end clocks are only the empty-run
+        # to one idle tick, so actor end clocks are only the empty-run
         # fallback.
-        makespan = max((r.finish for r in self._records), default=max(ends, default=0.0))
-        if self.metrics and self._records:
+        if self._completed:
+            makespan = self._last_finish
+        else:
+            makespan = max((actor.clock for actor in self._actors), default=0.0)
+        if self.metrics and self._completed:
             # Close the stream on a final whole-run snapshot whatever the
             # tick cadence left pending.
             self._tick_metrics(makespan)
         dropped = self._count_dropped()
-        report = build_report(
-            self._records, profile.tenants, self.clock_ghz, makespan, dropped
-        )
+        records = self._records if self._records is not None else []
+        report = self._accumulator.build(makespan, dropped)
         return ServeResult(
-            profile=profile,
-            records=sorted(self._records, key=lambda r: (r.finish, r.tenant, r.index)),
+            profile=self.profile,
+            records=sorted(records, key=lambda r: (r.finish, r.tenant, r.index)),
             report=report,
             makespan_cycles=makespan,
             clock_ghz=self.clock_ghz,
             # Actually-generated requests: for a horizon-cut closed loop the
             # completion-driven chain stops issuing, so this can be well
             # under the spec's budget — issued - completed == sum(dropped).
-            issued=sum(self._next_index.values()),
+            issued=sum(source.issued for source in self._sources.values()),
             dropped=dropped,
             l2_miss_rate=self.soc.l2_miss_rate(),
             dram_bytes=self.soc.mem.dram.bytes_moved,
             replayed=self._replayed,
+            completed_total=self._completed,
+            peak_inflight=self.peak_inflight,
+            peak_pending=self.peak_pending,
+            checkpoints=self._checkpoints_written,
         )
 
     # -- request plumbing ----------------------------------------------- #
 
-    def _push_requests(self, spec: TenantSpec, times: list[float]) -> None:
-        start = self._next_index.get(spec.name, 0)
-        requests = requests_for(
-            spec,
-            times,
-            start_index=start,
-            cost_hint=self._cost_hint(spec),
-            clock_ghz=self.clock_ghz,
-        )
-        self._next_index[spec.name] = start + len(requests)
-        lane = f"tenant:{spec.name}"
-        for request in requests:
-            heapq.heappush(
-                self._arrivals, (request.arrival, self._arrival_seq, request)
-            )
-            self._arrival_seq += 1
-            self.tracer.instant(lane, "arrival", request.arrival, {"index": request.index})
-
-    def _release(self, now: float) -> None:
-        """Move every request that has arrived by ``now`` into the queue."""
-        while self._arrivals and self._arrivals[0][0] <= now:
-            __, __, request = heapq.heappop(self._arrivals)
-            self.scheduler.add(request)
+    def _note_peak(self) -> None:
+        """Track the high-water marks the O(in-flight) claim is gated on."""
+        pending = len(self._arrivals) + len(self.scheduler) + self._inflight
+        if pending > self.peak_pending:
+            self.peak_pending = pending
+        if self._inflight > self.peak_inflight:
+            self.peak_inflight = self._inflight
 
     def _next_event(self, tile_index: int, now: float) -> float | None:
         """Earliest future time at which new work could become pickable."""
         candidates = []
-        if self._arrivals:
-            candidates.append(self._arrivals[0][0])
+        arrival = self._arrivals.peek()
+        if arrival is not None:
+            candidates.append(arrival)
         wake = self.scheduler.wakeup(tile_index, now)
         if wake is not None:
             candidates.append(wake)
         return min(candidates) if candidates else None
+
+    def _dispatch(self, actor: _TileActor, request: Request) -> None:
+        """Start one request on ``actor``'s tile: bind the runtime, choose
+        record vs replay, and leave the live stream on the actor."""
+        tile_index = actor.tile_index
+        tile = self.soc.tiles[tile_index]
+        start = max(actor.clock, request.arrival)
+        tile.accel.controller.advance_to(start)
+        runtime = self._runtime(tile_index, request.model_key)
+        slot = self._trace_slot(tile_index, request.model_key) if self.replay else None
+        recorder = None
+        # A *different* model ran on this tile since the last request of
+        # this pair: the tile-local and shared state no longer match the
+        # steady state a trace assumes.  Such a run can neither serve as
+        # a clean recording nor replay by pure offset arithmetic — it
+        # re-resolves every macro-op against live state instead.
+        prev_model = self._tile_last_model.get(tile_index)
+        stale = prev_model is not None and prev_model != request.model_key
+        self._tile_last_model[tile_index] = request.model_key
+        replayed = False
+        if slot is not None and slot.trace is not None:
+            probe = (lambda: True) if stale else self._contended
+            stream = slot.trace.replay(tile, start, contended=probe)
+            self._replayed += 1
+            replayed = True
+        elif slot is not None:
+            recorder = TraceRecorder(runtime, segment_ops=self.trace_segment_ops)
+            recorder.dirty = stale
+            stream = recorder.record(dirty_probe=self._contended)
+        else:
+            stream = runtime.run_generator()
+        self._inflight += 1
+        actor.stream = stream
+        actor.inflight = _Inflight(request, start, recorder, slot, replayed, runtime)
+        self._note_peak()
+
+    def _retire(self, actor: _TileActor) -> None:
+        """Complete ``actor``'s in-flight request: record, observe, trigger
+        the closed-loop follow-up, and count toward the checkpoint cadence."""
+        ctx = actor.inflight
+        actor.stream = None
+        actor.inflight = None
+        self._inflight -= 1
+        if ctx.recorder is not None:
+            self._finish_recording(ctx.slot, ctx.recorder, ctx.runtime)
+        request = ctx.request
+        record = RequestRecord(
+            tenant=request.tenant,
+            index=request.index,
+            model=request.model,
+            tile=actor.tile_index,
+            arrival=request.arrival,
+            start=ctx.start,
+            finish=ctx.finish,
+            slo_cycles=request.slo_cycles,
+        )
+        self._completed += 1
+        if self._records is not None:
+            self._records.append(record)
+        self._accumulator.observe(record)
+        if record.finish > self._last_finish:
+            self._last_finish = record.finish
+        self._observe_completion(record, actor.tile_index, ctx.replayed)
+        follow = self._sources[request.tenant].next_after_completion(ctx.finish)
+        if follow is not None:
+            self._arrivals.push_followup(self._specs[request.tenant], follow)
+        if self.checkpoint_every is not None:
+            self._since_checkpoint += 1
+            # The barrier must be *transparent*: parking a tile before it
+            # dispatches must not change what any live macro-op stream
+            # observes (contention probes, shared L2/DRAM state).  That
+            # holds only when this completion leaves nothing in flight —
+            # every tile is then at a dispatch point and parks without
+            # mutating anything, so the resumed schedule replays bitwise.
+            # Under saturating load the barrier simply waits for the first
+            # momentary drain at or after the cadence point.
+            if self._since_checkpoint >= self.checkpoint_every and self._inflight == 0:
+                self._park_requested = True
 
     def _count_dropped(self) -> dict[str, int]:
         """Issued-but-unserved requests (horizon cut or starved pins).
@@ -443,8 +898,9 @@ class ServingSimulation:
         sits: the scheduler (including requests staged inside an open
         batch on a tile that stopped picking — ``Scheduler.drain`` reaches
         policy-internal structures the queue accessors alone would miss)
-        and the not-yet-released arrival heap.  Every issued request is
-        therefore either a completion record or a drop; the invariant
+        and the arrival plumbing (pending entries plus, on the streaming
+        engine, pre-scheduled arrivals never pulled).  Every issued request
+        is therefore either a completion or a drop; the invariant
         ``completed + sum(dropped) == issued`` is asserted because a
         scheduler that strands work outside ``drain()`` would silently
         undercount drops.
@@ -452,13 +908,12 @@ class ServingSimulation:
         out: dict[str, int] = {}
         for request in self.scheduler.drain():
             out[request.tenant] = out.get(request.tenant, 0) + 1
-        while self._arrivals:
-            __, __, request = heapq.heappop(self._arrivals)
-            out[request.tenant] = out.get(request.tenant, 0) + 1
-        issued = sum(self._next_index.values())
-        if len(self._records) + sum(out.values()) != issued:
+        for tenant in self._arrivals.drain():
+            out[tenant] = out.get(tenant, 0) + 1
+        issued = sum(source.issued for source in self._sources.values())
+        if self._completed + sum(out.values()) != issued:
             raise RuntimeError(
-                f"request accounting broke: {len(self._records)} served + "
+                f"request accounting broke: {self._completed} served + "
                 f"{sum(out.values())} dropped != {issued} issued"
             )
         return out
@@ -521,87 +976,6 @@ class ServingSimulation:
         }
         metrics.tick(elapsed_s, extra)
 
-    # -- the per-tile worker -------------------------------------------- #
-
-    def _tile_worker(self, tile_index: int) -> Generator[float, None, None]:
-        tile = self.soc.tiles[tile_index]
-        controller = tile.accel.controller
-        clock = controller.now
-
-        while len(self._records) + self._inflight < self._expected:
-            if self._horizon is not None and clock >= self._horizon:
-                break
-            self._release(clock)
-            request = self.scheduler.pick(tile_index, clock)
-
-            if request is None:
-                target = self._next_event(tile_index, clock)
-                if target is None:
-                    if self._inflight == 0:
-                        break  # nothing queued, nothing coming: drained
-                    # A closed-loop follow-up may appear when another tile
-                    # completes; re-check on a bounded idle tick.
-                    target = clock + self.idle_quantum
-                else:
-                    target = min(target, clock + self.idle_quantum)
-                # Guarantee forward progress even when an event is "now":
-                # a pick that failed at this clock cannot succeed at it.
-                clock = max(target, clock + 1.0)
-                yield clock
-                continue
-
-            start = max(clock, request.arrival)
-            controller.advance_to(start)
-            runtime = self._runtime(tile_index, request.model_key)
-            slot = self._trace_slot(tile_index, request.model_key) if self.replay else None
-            recorder = None
-            # A *different* model ran on this tile since the last request of
-            # this pair: the tile-local and shared state no longer match the
-            # steady state a trace assumes.  Such a run can neither serve as
-            # a clean recording nor replay by pure offset arithmetic — it
-            # re-resolves every macro-op against live state instead.
-            prev_model = self._tile_last_model.get(tile_index)
-            stale = prev_model is not None and prev_model != request.model_key
-            self._tile_last_model[tile_index] = request.model_key
-            replayed = False
-            if slot is not None and slot.trace is not None:
-                probe = (lambda: True) if stale else self._contended
-                stream = slot.trace.replay(tile, start, contended=probe)
-                self._replayed += 1
-                replayed = True
-            elif slot is not None:
-                recorder = TraceRecorder(runtime, segment_ops=self.trace_segment_ops)
-                recorder.dirty = stale
-                stream = recorder.record(dirty_probe=self._contended)
-            else:
-                stream = runtime.run_generator()
-            self._inflight += 1
-            finish = start
-            for t in stream:
-                finish = t
-                if t > clock:
-                    clock = t
-                yield clock
-            self._inflight -= 1
-            if recorder is not None:
-                self._finish_recording(slot, recorder, runtime)
-            record = RequestRecord(
-                tenant=request.tenant,
-                index=request.index,
-                model=request.model,
-                tile=tile_index,
-                arrival=request.arrival,
-                start=start,
-                finish=finish,
-                slo_cycles=request.slo_cycles,
-            )
-            self._records.append(record)
-            self._observe_completion(record, tile_index, replayed)
-            follow = self._sources[request.tenant].next_after_completion(finish)
-            if follow is not None:
-                spec = next(t for t in self.profile.tenants if t.name == request.tenant)
-                self._push_requests(spec, [follow])
-
 
 def simulate_serving(
     profile: TrafficProfile,
@@ -613,6 +987,8 @@ def simulate_serving(
     design: SoCDesign | None = None,
     tracer: Tracer | None = None,
     metrics: MetricStream | None = None,
+    engine: str = "event",
+    record_mode: str = "exact",
 ) -> ServeResult:
     """One-shot convenience: build the cluster, run the traffic, report.
 
@@ -624,6 +1000,12 @@ def simulate_serving(
     ``replay=False`` forces every request down the per-macro-op recording
     path (the pre-trace behaviour) — the baseline the replay benchmarks and
     parity tests compare against.
+
+    ``engine=`` selects the O(in-flight) event loop (default) or the
+    historical O(trace) lockstep baseline; both reproduce the same request
+    log bitwise.  ``record_mode="stream"`` retires records into P²
+    latency sketches instead of keeping them — the long-horizon memory
+    mode (``serve --horizon-hours``).
 
     ``tracer=``/``metrics=`` attach a :class:`~repro.obs.tracer.Tracer`
     (one span per request lifecycle, laned per tile) and a streaming
@@ -645,4 +1027,6 @@ def simulate_serving(
         design=design,
         tracer=tracer,
         metrics=metrics,
+        engine=engine,
+        record_mode=record_mode,
     ).run()

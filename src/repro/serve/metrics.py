@@ -1,21 +1,96 @@
 """SLO metrics: tail latency, goodput, fairness, violation rates.
 
-Built on :mod:`repro.sim.stats` — each tenant's latencies land in a
-:class:`~repro.sim.stats.Histogram`, per-tenant histograms merge into the
-cluster-wide one, and the percentile machinery produces the p50/p95/p99
-summaries.  Rates are reported in wall-clock units (ms, QPS) using the
-accelerator's reference clock.
+Reports are built *online*: the cluster engine folds each retired
+:class:`~repro.serve.request.RequestRecord` into a
+:class:`ReportAccumulator` the moment the request completes, so the
+latency digests exist mid-flight and never require the full record list.
+Two digest modes share one report shape:
+
+* **exact** (default) — each tenant's latencies land in a
+  :class:`~repro.sim.stats.Histogram`; percentiles are exact.  This is
+  the mode tests and parity gates compare bitwise.
+* **stream** — latencies feed :class:`LatencySketch`, a fixed-size digest
+  of P² quantile estimators (:class:`~repro.obs.metrics.P2Quantile`), so
+  hour-long horizons with millions of requests hold O(tenants) metric
+  state at a few-percent tail accuracy.
+
+Rates are reported in wall-clock units (ms, QPS) using the accelerator's
+reference clock.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import P2Quantile
 from repro.serve.request import RequestRecord
 from repro.serve.workload import TenantSpec
 from repro.sim.stats import Histogram
 
-__all__ = ["TenantMetrics", "ServeReport", "jain_fairness", "build_report"]
+__all__ = [
+    "LatencySketch",
+    "ReportAccumulator",
+    "TenantMetrics",
+    "ServeReport",
+    "jain_fairness",
+    "build_report",
+]
+
+
+class LatencySketch:
+    """A fixed-size latency digest: P² quantiles + exact count/mean/extrema.
+
+    Duck-types the slice of :class:`~repro.sim.stats.Histogram` the report
+    needs (``record``/``mean``/``max``/``min``/``percentile``) while
+    holding five markers per tracked quantile instead of one bucket per
+    distinct latency — the O(in-flight) serving engine's streaming
+    replacement for the exact histogram.  Exact below five observations
+    (P² keeps the sorted prefix), a few percent on tail quantiles beyond.
+    """
+
+    __slots__ = ("name", "count", "total", "_min", "_max", "_quantiles")
+
+    #: quantiles the serving report reads (p50/p95/p99)
+    QUANTILES = (0.50, 0.95, 0.99)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self._min = None
+        self._max = None
+        self._quantiles = {p: P2Quantile(p) for p in self.QUANTILES}
+
+    def record(self, value: int, weight: int = 1) -> None:
+        for __ in range(weight):
+            self.count += 1
+            self.total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            for est in self._quantiles.values():
+                est.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0
+
+    def percentile(self, p: float) -> float:
+        try:
+            return self._quantiles[p].value()
+        except KeyError:
+            raise ValueError(
+                f"streaming sketch tracks quantiles {self.QUANTILES}, not {p}"
+            ) from None
 
 
 def jain_fairness(values: list[float]) -> float:
@@ -35,7 +110,7 @@ class TenantMetrics:
     tenant: str
     completed: int
     dropped: int  # issued but unserved at the horizon
-    latency: Histogram = field(repr=False)
+    latency: Histogram | LatencySketch = field(repr=False)
     clock_ghz: float = 1.0
     span_cycles: float = 0.0  # simulated span rates are computed over
     slo_ms: float | None = None
@@ -134,6 +209,93 @@ class ServeReport:
         raise KeyError(name)
 
 
+class _TenantAccumulator:
+    """Running SLO state of one tenant (or the cluster-wide aggregate)."""
+
+    __slots__ = ("digest", "completed", "slo_met", "queue_total", "service_total")
+
+    def __init__(self, name: str, exact: bool) -> None:
+        cls = Histogram if exact else LatencySketch
+        self.digest = cls(f"{name}.latency")
+        self.completed = 0
+        self.slo_met = 0
+        self.queue_total = 0.0
+        self.service_total = 0.0
+
+    def observe(self, record: RequestRecord) -> None:
+        self.digest.record(int(round(record.latency_cycles)))
+        self.completed += 1
+        if record.slo_met:
+            self.slo_met += 1
+        self.queue_total += record.queue_cycles
+        self.service_total += record.service_cycles
+
+
+class ReportAccumulator:
+    """Builds a :class:`ServeReport` from retired records, one at a time.
+
+    The event-driven cluster engine folds each completion in as it
+    happens, so report state is O(tenants) and available mid-flight —
+    there is no "wait for the merge to finish, then aggregate the record
+    list" step.  ``exact=True`` (the default, and what :func:`build_report`
+    uses) keeps exact histograms; ``exact=False`` swaps in
+    :class:`LatencySketch` digests for long-horizon runs that retire
+    records without keeping them.
+    """
+
+    def __init__(
+        self, tenants: tuple[TenantSpec, ...], clock_ghz: float, exact: bool = True
+    ) -> None:
+        self.tenants = tenants
+        self.clock_ghz = clock_ghz
+        self.exact = exact
+        self._per_tenant = {t.name: _TenantAccumulator(t.name, exact) for t in tenants}
+        self._overall = _TenantAccumulator("overall", exact)
+
+    def observe(self, record: RequestRecord) -> None:
+        """Fold one retired request into its tenant and the aggregate.
+
+        The overall digest is fed directly rather than merged from the
+        per-tenant ones at the end: exact histograms merge commutatively
+        so the result is identical, and P² estimators cannot merge at all.
+        """
+        self._per_tenant[record.tenant].observe(record)
+        self._overall.observe(record)
+
+    def build(
+        self, makespan_cycles: float, dropped: dict[str, int] | None = None
+    ) -> ServeReport:
+        """Freeze the running state into the SLO report."""
+        dropped = dropped or {}
+
+        def metrics(name: str, acc: _TenantAccumulator, slo_ms, drop) -> TenantMetrics:
+            return TenantMetrics(
+                tenant=name,
+                completed=acc.completed,
+                dropped=drop,
+                latency=acc.digest,
+                clock_ghz=self.clock_ghz,
+                span_cycles=makespan_cycles,
+                slo_ms=slo_ms,
+                slo_met=acc.slo_met,
+                queue_cycles_total=acc.queue_total,
+                service_cycles_total=acc.service_total,
+            )
+
+        per_tenant = [
+            metrics(t.name, self._per_tenant[t.name], t.slo_ms, dropped.get(t.name, 0))
+            for t in self.tenants
+        ]
+        overall = metrics("overall", self._overall, None, sum(dropped.values()))
+        return ServeReport(
+            tenants=per_tenant,
+            overall=overall,
+            fairness=jain_fairness([m.throughput_qps for m in per_tenant]),
+            makespan_cycles=makespan_cycles,
+            clock_ghz=self.clock_ghz,
+        )
+
+
 def build_report(
     records: list[RequestRecord],
     tenants: tuple[TenantSpec, ...],
@@ -141,47 +303,8 @@ def build_report(
     makespan_cycles: float,
     dropped: dict[str, int] | None = None,
 ) -> ServeReport:
-    """Aggregate completion records into the SLO report."""
-    dropped = dropped or {}
-    per_tenant: list[TenantMetrics] = []
-    for spec in tenants:
-        mine = [r for r in records if r.tenant == spec.name]
-        hist = Histogram(f"{spec.name}.latency")
-        for record in mine:
-            hist.record(int(round(record.latency_cycles)))
-        per_tenant.append(
-            TenantMetrics(
-                tenant=spec.name,
-                completed=len(mine),
-                dropped=dropped.get(spec.name, 0),
-                latency=hist,
-                clock_ghz=clock_ghz,
-                span_cycles=makespan_cycles,
-                slo_ms=spec.slo_ms,
-                slo_met=sum(1 for r in mine if r.slo_met),
-                queue_cycles_total=sum(r.queue_cycles for r in mine),
-                service_cycles_total=sum(r.service_cycles for r in mine),
-            )
-        )
-
-    merged = Histogram("overall.latency")
-    for metrics in per_tenant:
-        merged.merge(metrics.latency)
-    overall = TenantMetrics(
-        tenant="overall",
-        completed=sum(m.completed for m in per_tenant),
-        dropped=sum(m.dropped for m in per_tenant),
-        latency=merged,
-        clock_ghz=clock_ghz,
-        span_cycles=makespan_cycles,
-        slo_met=sum(m.slo_met for m in per_tenant),
-        queue_cycles_total=sum(m.queue_cycles_total for m in per_tenant),
-        service_cycles_total=sum(m.service_cycles_total for m in per_tenant),
-    )
-    return ServeReport(
-        tenants=per_tenant,
-        overall=overall,
-        fairness=jain_fairness([m.throughput_qps for m in per_tenant]),
-        makespan_cycles=makespan_cycles,
-        clock_ghz=clock_ghz,
-    )
+    """Aggregate completion records into the SLO report (exact digests)."""
+    accumulator = ReportAccumulator(tenants, clock_ghz, exact=True)
+    for record in records:
+        accumulator.observe(record)
+    return accumulator.build(makespan_cycles, dropped)

@@ -153,59 +153,150 @@ def _cycles_per_ms(clock_ghz: float) -> float:
 
 @dataclass
 class ArrivalSource:
-    """Base: turns one tenant spec into a stream of arrival times (cycles)."""
+    """Base: turns one tenant spec into a *stream* of arrival times (cycles).
+
+    The primary interface is pull-based: :meth:`next_arrival` yields the
+    next pre-scheduled arrival (None once the stream is exhausted), so an
+    engine holding one pending arrival per tenant keeps O(tenants) state
+    however long the stream runs.  :meth:`initial_times` survives as a
+    draining compatibility wrapper for callers that still want the whole
+    list up front (the lockstep serving path, quick scripts).
+
+    Sources are checkpointable: :meth:`state_dict` captures the cursor and
+    the seeded ``random.Random`` state, and :meth:`load_state` restores
+    them onto a freshly built source so a resumed simulation continues the
+    exact same arrival sequence.
+    """
 
     spec: TenantSpec
     clock_ghz: float
     rng: random.Random = field(repr=False, default=None)
 
-    def initial_times(self) -> list[float]:
-        """Arrival times known before the simulation starts."""
+    #: cursor fields captured by state_dict (subclasses extend)
+    _STATE_FIELDS = ("_pulled", "_followups")
+
+    def __post_init__(self) -> None:
+        self._pulled = 0  # pre-scheduled arrivals handed out so far
+        self._followups = 0  # completion-triggered arrivals handed out
+
+    @property
+    def initial_total(self) -> int:
+        """Size of the pre-scheduled arrival stream (known statically)."""
+        raise NotImplementedError
+
+    @property
+    def issued(self) -> int:
+        """Requests this source will have put into the world: the whole
+        pre-scheduled stream (it exists whether or not the engine got to
+        it) plus every completion-triggered follow-up actually handed out."""
+        return self.initial_total + self._followups
+
+    @property
+    def remaining_initial(self) -> int:
+        """Pre-scheduled arrivals not yet pulled (horizon-cut accounting)."""
+        return self.initial_total - self._pulled
+
+    def next_arrival(self) -> float | None:
+        """Pull the next pre-scheduled arrival time, or None when done."""
         raise NotImplementedError
 
     def next_after_completion(self, finish: float) -> float | None:
         """Closed-loop hook: the next arrival triggered by a completion."""
         return None
 
+    def initial_times(self) -> list[float]:
+        """Drain the pre-scheduled stream into a list (compatibility)."""
+        times: list[float] = []
+        while (t := self.next_arrival()) is not None:
+            times.append(t)
+        return times
+
+    # -- checkpoint/resume ---------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        """Cursor + RNG state, sufficient to resume the stream bitwise."""
+        state = {name: getattr(self, name) for name in self._STATE_FIELDS}
+        state["rng"] = self.rng.getstate() if self.rng is not None else None
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` onto a freshly built source."""
+        for name in self._STATE_FIELDS:
+            setattr(self, name, state[name])
+        if state.get("rng") is not None:
+            self.rng.setstate(state["rng"])
+
 
 class OpenLoopSource(ArrivalSource):
-    """Poisson, bursty and trace tenants: every arrival is precomputed."""
+    """Poisson, bursty and trace tenants: arrivals independent of service.
 
-    def initial_times(self) -> list[float]:
+    Times are generated one pull at a time — Poisson inter-arrival gaps
+    accumulate, and the bursty on/off mapping is monotone in the on-time,
+    so the streamed sequence is identical (value for value, in order) to
+    the historical precomputed list.
+    """
+
+    _STATE_FIELDS = ArrivalSource._STATE_FIELDS + ("_on_time",)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._on_time = 0.0  # cumulative arrival clock (on-time for bursty)
+        if self.spec.arrival == "trace":
+            per_ms = _cycles_per_ms(self.clock_ghz)
+            self._times = sorted(ms * per_ms for ms in self.spec.trace_ms)
+
+    @property
+    def initial_total(self) -> int:
+        return self.spec.total_requests
+
+    def next_arrival(self) -> float | None:
         spec = self.spec
-        per_ms = _cycles_per_ms(self.clock_ghz)
+        if self._pulled >= self.initial_total:
+            return None
+        index = self._pulled
+        self._pulled += 1
         if spec.arrival == "trace":
-            times = sorted(ms * per_ms for ms in spec.trace_ms)
-            return times
+            return self._times[index]
+        per_ms = _cycles_per_ms(self.clock_ghz)
         mean_gap = per_ms * 1e3 / spec.rate_qps  # cycles between arrivals
-        gaps = [self.rng.expovariate(1.0 / mean_gap) for __ in range(spec.num_requests)]
-        times, t = [], 0.0
-        for gap in gaps:
-            t += gap
-            times.append(t)
+        self._on_time += self.rng.expovariate(1.0 / mean_gap)
+        t = self._on_time
         if spec.arrival == "bursty":
-            # Arrivals were drawn in "on-time"; map them onto the wall
-            # clock by inserting the off-phase after every on-phase.
+            # Arrivals are drawn in "on-time"; map onto the wall clock by
+            # inserting the off-phase after every on-phase.  The map is
+            # monotone, so streamed order equals sorted order.
             on = spec.burst_on_ms * per_ms
             off = spec.burst_off_ms * per_ms
-            times = [(t // on) * (on + off) + (t % on) for t in times]
-            times.sort()
-        return times
+            t = (t // on) * (on + off) + (t % on)
+        return t
 
 
 class ClosedLoopSource(ArrivalSource):
     """Closed-loop clients: each completion triggers the next request."""
 
-    def initial_times(self) -> list[float]:
+    _STATE_FIELDS = ArrivalSource._STATE_FIELDS + ("_remaining",)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
         spec = self.spec
-        first = min(spec.concurrency, spec.num_requests)
-        self._remaining = spec.num_requests - first
-        return [0.0] * first
+        self._initial = min(spec.concurrency, spec.num_requests)
+        self._remaining = spec.num_requests - self._initial
+
+    @property
+    def initial_total(self) -> int:
+        return self._initial
+
+    def next_arrival(self) -> float | None:
+        if self._pulled >= self._initial:
+            return None
+        self._pulled += 1
+        return 0.0
 
     def next_after_completion(self, finish: float) -> float | None:
-        if getattr(self, "_remaining", 0) <= 0:
+        if self._remaining <= 0:
             return None
         self._remaining -= 1
+        self._followups += 1
         return finish + self.spec.think_ms * _cycles_per_ms(self.clock_ghz)
 
 

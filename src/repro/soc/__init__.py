@@ -10,12 +10,9 @@ SoCs are declared as component lists (:mod:`repro.soc.components`):
 :class:`TileComponent` entries — each with its own accelerator config,
 host CPU, OS model and replication count — plus the shared
 :class:`CacheComponent` / :class:`DRAMComponent` substrate, validated
-together as a :class:`SoCDesign`.  The legacy homogeneous
-:class:`SoCConfig` remains available for one release through
-:mod:`repro.soc.compat` (DeprecationWarning on construction).
+together as a :class:`SoCDesign`.
 """
 
-from repro.soc.compat import LegacyConfigWarning, SoCConfig
 from repro.soc.components import (
     CacheComponent,
     DesignError,
@@ -37,9 +34,7 @@ __all__ = [
     "CacheComponent",
     "DRAMComponent",
     "DesignError",
-    "LegacyConfigWarning",
     "SoC",
-    "SoCConfig",
     "SoCDesign",
     "SoCTile",
     "TileComponent",

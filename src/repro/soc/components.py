@@ -56,8 +56,7 @@ class TileComponent:
     ``cpu`` accepts either a registered CPU name (``"rocket"``/``"boom"``)
     or a :class:`~repro.soc.cpu.CPUModel` instance; both are validated and
     normalised to a model object here — the single place tile CPUs are
-    resolved (the legacy ``SoCConfig.cpu_names`` path silently accepted
-    model objects against its ``tuple[str, ...]`` type hint).
+    resolved.
     """
 
     gemmini: GemminiConfig = field(default_factory=default_config)

@@ -9,9 +9,7 @@ walker.
 Tiles are built from a :class:`~repro.soc.components.SoCDesign` component
 list, so heterogeneous big/little accelerator mixes are first-class: each
 :class:`~repro.soc.components.TileComponent` contributes ``count`` tiles
-carrying its own accelerator config, host CPU and OS model.  The legacy
-homogeneous :class:`~repro.soc.compat.SoCConfig` still constructs an SoC
-through its deprecation adapter.
+carrying its own accelerator config, host CPU and OS model.
 """
 
 from __future__ import annotations
@@ -22,7 +20,6 @@ from repro.mem.hierarchy import MemorySystem, MemorySystemConfig
 from repro.mem.host_memory import HostMemory
 from repro.mem.page_table import VirtualMemory
 from repro.sim.timeline import Timeline
-from repro.soc.compat import SoCConfig  # noqa: F401  (legacy import path)
 from repro.soc.components import SoCDesign, TileComponent
 from repro.soc.cpu import CPUModel
 from repro.soc.os_model import OSConfig, OSModel
@@ -77,11 +74,9 @@ class SoCTile:
 class SoC:
     """The composed system: tiles + shared memory substrate."""
 
-    def __init__(self, design: SoCDesign | SoCConfig | None = None) -> None:
+    def __init__(self, design: SoCDesign | None = None) -> None:
         if design is None:
             design = SoCDesign.homogeneous()
-        elif isinstance(design, SoCConfig):
-            design = design.to_design()  # deprecation adapter (warned at build)
         self.design = design
         self.mem = MemorySystem(design.mem_config())
         self._global_ptw = Timeline("soc.ptw") if design.global_ptw else None

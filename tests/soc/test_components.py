@@ -12,9 +12,7 @@ from repro.soc import (
     CacheComponent,
     DesignError,
     DRAMComponent,
-    LegacyConfigWarning,
     SoC,
-    SoCConfig,
     SoCDesign,
     TileComponent,
 )
@@ -138,21 +136,13 @@ class TestSoCDesign:
         assert soc.tiles[0].vm is not soc.tiles[1].vm
 
 
-class TestLegacyParity:
-    """SoCConfig must keep yielding bitwise-identical SoCs (CI-gated)."""
+class TestHomogeneousParity:
+    """The homogeneous shorthand must equal the explicit component list."""
 
-    def test_legacy_warns_and_converts(self):
-        with pytest.warns(LegacyConfigWarning):
-            legacy = SoCConfig(num_tiles=3, cpu_names=("rocket", "boom", "rocket"))
-        design = legacy.to_design()
-        assert design.num_tiles == 3
-        assert [c.cpu.name for c in design.expand()] == ["rocket", "boom", "rocket"]
-
-    def test_legacy_run_is_bitwise_identical(self):
+    def test_homogeneous_run_is_bitwise_identical(self):
         gemmini = default_config().with_im2col(True)
         mem = MemorySystemConfig(l2=CacheConfig(size_bytes=1 << 20))
-        with pytest.warns(DeprecationWarning):
-            legacy_soc = SoC(SoCConfig(gemmini=gemmini, mem=mem, num_tiles=1))
+        legacy_soc = SoC(SoCDesign.homogeneous(gemmini=gemmini, mem=mem, num_tiles=1))
         component_soc = SoC(
             SoCDesign(
                 components=(

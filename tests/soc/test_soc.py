@@ -1,35 +1,10 @@
 """Unit tests for SoC composition."""
 
-import pytest
-
 from repro.core.config import default_config
 from repro.mem.hierarchy import MemorySystemConfig
+from repro.soc.components import SoCDesign, TileComponent
 from repro.soc.cpu import ROCKET
-from repro.soc.soc import SoC, SoCConfig, make_soc
-
-
-class TestSoCConfig:
-    """The deprecated homogeneous config keeps working through the shim."""
-
-    def test_defaults(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = SoCConfig()
-        assert cfg.num_tiles == 1
-        assert cfg.cpu_names == ("rocket",)
-
-    def test_construction_warns(self):
-        from repro.soc import LegacyConfigWarning
-
-        with pytest.warns(LegacyConfigWarning, match="SoCDesign"):
-            SoCConfig()
-
-    def test_invalid_tile_count(self):
-        with pytest.raises(ValueError):
-            SoCConfig(num_tiles=0)
-
-    def test_cpu_names_must_match_tiles(self):
-        with pytest.raises(ValueError):
-            SoCConfig(num_tiles=3, cpu_names=("rocket", "boom"))
+from repro.soc.soc import SoC, make_soc
 
 
 class TestSoC:
@@ -47,22 +22,21 @@ class TestSoC:
         assert a.vm is not b.vm
 
     def test_per_tile_cpu_mix(self):
-        with pytest.warns(DeprecationWarning):
-            config = SoCConfig(num_tiles=2, cpu_names=("rocket", "boom"))
-        soc = SoC(config)
+        design = SoCDesign(
+            components=(TileComponent(cpu="rocket"), TileComponent(cpu="boom"))
+        )
+        soc = SoC(design)
         assert soc.tiles[0].cpu.name == "rocket"
         assert soc.tiles[1].cpu.name == "boom"
 
     def test_global_ptw_shared(self):
-        with pytest.warns(DeprecationWarning):
-            config = SoCConfig(num_tiles=2, global_ptw=True)
-        soc = SoC(config)
+        design = SoCDesign(components=(TileComponent(count=2),), global_ptw=True)
+        soc = SoC(design)
         assert soc.tiles[0].accel.xlat.ptw is soc.tiles[1].accel.xlat.ptw
 
     def test_per_tile_ptw(self):
-        with pytest.warns(DeprecationWarning):
-            config = SoCConfig(num_tiles=2, global_ptw=False)
-        soc = SoC(config)
+        design = SoCDesign(components=(TileComponent(count=2),), global_ptw=False)
+        soc = SoC(design)
         assert soc.tiles[0].accel.xlat.ptw is not soc.tiles[1].accel.xlat.ptw
 
     def test_address_spaces_disjoint(self):
