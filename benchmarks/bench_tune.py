@@ -1,0 +1,141 @@
+"""Schedule auto-tuner benchmark: cycle win over greedy + warm-start wall win.
+
+One cold ``tune_model`` pass over squeezenet's matmul dispatch shapes is the
+timed sample (the price a user pays once per (model, config)).  The bench
+then demonstrates what that purchase buys:
+
+* **simulated-cycle improvement** — per shape, the tuned schedule is never
+  worse than the greedy heuristic (the shortlist always includes greedy),
+  and the shape total must strictly improve;
+* **cross-process warm start** — a second tuner pass against the same cache
+  file serves every shape from the cache (shapes_cached == shapes_total)
+  and must be faster than the cold pass by an order of magnitude;
+* **end-to-end dispatch** — a full model run against the warmed cache hits
+  on every schedule lookup (hits == lookups) and its total simulated cycles
+  must not regress against the greedy-only run.
+
+Everything lands in ``BENCH_tune_speedup.json`` ``extra_info`` for CI, and
+the wall time joins the run ledger for ``gemmini-repro regress`` gating.
+"""
+
+import os
+import tempfile
+import time
+
+from benchmarks.conftest import INPUT_HW, once
+from repro.core.config import default_config
+from repro.core.generator import SoftwareParams
+from repro.models import build_model
+from repro.soc.soc import make_soc
+from repro.sw.compiler import compile_graph
+from repro.sw.runtime import Runtime
+from repro.sw.schedule_cache import NULL_SCHEDULE_CACHE, ScheduleCache
+from repro.sw.tune import tune_model
+
+MODEL = "squeezenet"
+VERIFY_TOP_K = 4
+
+
+def test_tune_speedup(benchmark, emit):
+    config = default_config()
+    graph = build_model(MODEL, input_hw=INPUT_HW)
+    model = compile_graph(graph, SoftwareParams.from_config(config))
+    cache_path = os.path.join(tempfile.mkdtemp(prefix="bench-tune-"),
+                              "schedules.jsonl")
+
+    def cold_tune():
+        return tune_model(
+            model, config, cache=ScheduleCache(cache_path),
+            verify_top_k=VERIFY_TOP_K,
+        )
+
+    results = once(benchmark, cold_tune)
+    assert results and not any(r.cached for r in results)
+    assert all(r.tuned_cycles <= r.greedy_cycles for r in results), (
+        "a tuned schedule costs more simulated cycles than greedy — "
+        "the always-verify-greedy contract is broken"
+    )
+    greedy_total = sum(r.greedy_cycles for r in results)
+    tuned_total = sum(r.tuned_cycles for r in results)
+    improved = sum(1 for r in results if r.improvement > 0)
+    improvement_pct = 100.0 * (1.0 - tuned_total / greedy_total)
+    cold_wall_s = sum(r.wall_s for r in results)
+
+    # Warm start: a second process-equivalent pass over the same cache file.
+    t0 = time.perf_counter()
+    warm = tune_model(
+        model, config, cache=ScheduleCache(cache_path),
+        verify_top_k=VERIFY_TOP_K,
+    )
+    warm_wall_s = time.perf_counter() - t0
+    assert all(r.cached for r in warm), "second tuner pass re-tuned shapes"
+    assert [r.best for r in warm] == [r.best for r in results]
+    assert warm_wall_s < cold_wall_s, (
+        f"warm tuner pass ({warm_wall_s:.3f}s) not faster than cold "
+        f"({cold_wall_s:.3f}s)"
+    )
+
+    # End-to-end: the runtime dispatching against the warmed cache must hit
+    # on every lookup and never regress the model's total simulated cycles.
+    def run_model(schedule_cache):
+        soc = make_soc(gemmini=config)
+        runtime = Runtime(soc.tile, model, schedule_cache=schedule_cache)
+        return runtime.run().total_cycles
+
+    greedy_e2e = run_model(NULL_SCHEDULE_CACHE)
+    warm_cache = ScheduleCache(cache_path)
+    tuned_e2e = run_model(warm_cache)
+    assert warm_cache.stats.lookups > 0
+    assert warm_cache.stats.hits == warm_cache.stats.lookups, (
+        f"warm run missed: {warm_cache.stats.to_dict()}"
+    )
+    assert improvement_pct > 0.0, (
+        "tuning found no simulated-cycle win over greedy on any shape"
+    )
+    # Per-shape wins are guaranteed; whole-model cycles also fold in L2 and
+    # host effects, so allow sub-percent slack rather than bitwise ordering.
+    assert tuned_e2e <= greedy_e2e * 1.01, (
+        f"tuned end-to-end run regressed: {tuned_e2e:.0f} vs {greedy_e2e:.0f}"
+    )
+
+    benchmark.extra_info.update(
+        {
+            "model": MODEL,
+            "input_hw": INPUT_HW,
+            "shapes": len(results),
+            "shapes_improved": improved,
+            "greedy_cycles_total": greedy_total,
+            "tuned_cycles_total": tuned_total,
+            "improvement_pct": improvement_pct,
+            "cold_wall_s": cold_wall_s,
+            "warm_wall_s": warm_wall_s,
+            "warm_speedup": cold_wall_s / max(warm_wall_s, 1e-9),
+            "greedy_e2e_cycles": greedy_e2e,
+            "tuned_e2e_cycles": tuned_e2e,
+            "e2e_improvement_pct": 100.0 * (1.0 - tuned_e2e / greedy_e2e),
+            "warm_lookups": warm_cache.stats.lookups,
+            "warm_hits": warm_cache.stats.hits,
+        }
+    )
+
+    emit(
+        "tune_speedup",
+        "\n".join(
+            [
+                f"schedule auto-tuner, {MODEL}@{INPUT_HW} "
+                f"(verify_top_k={VERIFY_TOP_K}):",
+                f"  shapes tuned           : {len(results)} "
+                f"({improved} improved over greedy)",
+                f"  dispatch cycles        : {greedy_total:,.0f} greedy -> "
+                f"{tuned_total:,.0f} tuned ({improvement_pct:+.2f}%)",
+                f"  end-to-end model cycles: {greedy_e2e:,.0f} -> "
+                f"{tuned_e2e:,.0f} "
+                f"({100.0 * (1.0 - tuned_e2e / greedy_e2e):+.2f}%)",
+                f"  cold tune wall         : {cold_wall_s:.2f}s",
+                f"  warm-start wall        : {warm_wall_s:.3f}s "
+                f"({cold_wall_s / max(warm_wall_s, 1e-9):,.0f}x faster, "
+                f"{warm_cache.stats.hits}/{warm_cache.stats.lookups} "
+                "dispatch hits)",
+            ]
+        ),
+    )

@@ -24,6 +24,11 @@ Exposes the common workflows without writing Python:
 ``gemmini-repro soc-spec``
     Validate and pretty-print a component-based SoC design JSON file
     (``--example`` emits a big/little starter spec).
+``gemmini-repro tune``
+    Auto-tune every matmul dispatch shape of the given zoo models into
+    the persistent schedule cache; later ``run``/``serve``/``dse``
+    invocations (``--schedule-cache`` or ``$REPRO_SCHEDULE_CACHE``)
+    dispatch straight to the tuned schedules, never worse than greedy.
 ``gemmini-repro trace``
     Validate and summarise a ``--trace-out`` timeline: top spans by
     total/self time, queue-vs-service split per tile, cache hit ratio.
@@ -58,6 +63,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 import time
 from dataclasses import replace
@@ -219,6 +225,49 @@ def _read_ledger(args):
     return ledger
 
 
+def _add_schedule_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--schedule-cache",
+        default=None,
+        metavar="PATH",
+        help="tuned-schedule cache JSONL (default: $REPRO_SCHEDULE_CACHE or "
+        ".repro-schedule-cache/schedules.jsonl; 'off' disables; "
+        "pre-warm with `gemmini-repro tune`)",
+    )
+
+
+def _schedule_cache_from_args(args):
+    """Resolve and install the process-wide schedule cache.
+
+    ``--schedule-cache`` beats the environment and is exported back to
+    ``REPRO_SCHEDULE_CACHE`` so worker processes (the DSE evaluator pool)
+    inherit the same cache file.  The resolved cache is installed as the
+    ambient default, so every dispatch site in the process shares one
+    stats-bearing object the command can report on."""
+    from repro.sw.schedule_cache import (
+        default_schedule_cache,
+        set_default_schedule_cache,
+    )
+
+    value = getattr(args, "schedule_cache", None)
+    if value is not None:
+        os.environ["REPRO_SCHEDULE_CACHE"] = value
+    set_default_schedule_cache(None)  # re-resolve from the environment
+    cache = default_schedule_cache()
+    set_default_schedule_cache(cache)
+    return cache
+
+
+def _print_schedule_stats(cache) -> None:
+    stats = cache.stats
+    if not cache or not stats.lookups:
+        return
+    print(
+        f"schedule cache: {stats.hits} hits / {stats.misses} misses "
+        f"({len(cache)} tuned schedules at {cache.path})"
+    )
+
+
 def _export_obs(args, tracer, metrics, meta: dict) -> None:
     """Write the ``--trace-out`` / ``--metrics-out`` artifacts, if requested."""
     from repro.obs import export_metrics_csv, export_metrics_json, write_chrome_trace
@@ -252,6 +301,7 @@ def cmd_models(args) -> int:
 
 def cmd_run(args) -> int:
     config = _config_from_args(args)
+    schedule_cache = _schedule_cache_from_args(args)
     kwargs = {"seq": args.seq} if args.model == "bert" else {"input_hw": args.input_hw}
     graph = build_model(args.model, **kwargs)
     soc = make_soc(gemmini=config, cpu=args.cpu)
@@ -270,7 +320,9 @@ def cmd_run(args) -> int:
     tracer.declare_lane(soc.tile.name, process="run", label=f"{soc.tile.name} [{args.model}]")
     wall_t0 = time.perf_counter()
     with _maybe_profile(args.profile, args.profile_out):
-        result = Runtime(soc.tile, model, tracer=tracer).run()
+        result = Runtime(
+            soc.tile, model, tracer=tracer, schedule_cache=schedule_cache
+        ).run()
     wall_s = time.perf_counter() - wall_t0
 
     metrics = None
@@ -323,6 +375,7 @@ def cmd_run(args) -> int:
         f"DRAM {soc.mem.dram.bytes_moved / 1e6:.1f} MB, "
         f"TLB private hit {soc.tile.accel.xlat.hit_rate_including_filters():.1%}"
     )
+    _print_schedule_stats(schedule_cache)
     _export_obs(
         args, tracer, metrics,
         meta={"command": "run", "model": args.model, "seed": args.seed,
@@ -347,11 +400,113 @@ def cmd_run(args) -> int:
             "tops_per_watt": energy.tops_per_watt(config.clock_ghz),
             "l2_miss_rate": soc.mem.l2.miss_rate(),
             "dram_bytes": soc.mem.dram.bytes_moved,
+            "schedule_lookups": schedule_cache.stats.lookups,
+            "schedule_hits": schedule_cache.stats.hits,
+            "schedule_misses": schedule_cache.stats.misses,
         },
     )
     if ledger:
         print(f"ledger: {record.run_id} -> {ledger.path}")
     return 0
+
+
+def cmd_tune(args) -> int:
+    """Auto-tune matmul schedules for zoo models into the schedule cache."""
+    from repro.eval.runner import config_hash
+    from repro.obs import new_run_id
+    from repro.obs.tracer import NULL_TRACER, Tracer
+    from repro.sw.tune import tune_model
+
+    config = _config_from_args(args)
+    cache = _schedule_cache_from_args(args)
+    if not cache:
+        print(
+            "schedule cache is disabled (REPRO_SCHEDULE_CACHE=off); "
+            "nothing to tune into",
+            file=sys.stderr,
+        )
+        return 1
+    models = list(args.models)
+    if "all" in models:
+        models = list(model_names())
+    models = list(dict.fromkeys(models))
+
+    run_id = new_run_id("tune")
+    tracer = Tracer.wall(run_id=run_id, seed=0) if args.trace_out else NULL_TRACER
+    ledger = _ledger_from_args(args)
+    print(f"config: {config.describe()}")
+    print(f"cache: {cache.path}")
+
+    rows = []
+    exit_code = 0
+    for name in models:
+        kwargs = {"seq": args.seq} if name == "bert" else {"input_hw": args.input_hw}
+        graph = build_model(name, **kwargs)
+        model = compile_graph(graph, SoftwareParams.from_config(config))
+        wall_t0 = time.perf_counter()
+        results = tune_model(
+            model,
+            config,
+            cache=cache,
+            verify_top_k=args.verify_top,
+            force=args.force,
+            tracer=tracer,
+        )
+        wall_s = time.perf_counter() - wall_t0
+        greedy_cycles = sum(r.greedy_cycles or 0.0 for r in results)
+        tuned_cycles = sum(r.tuned_cycles or 0.0 for r in results)
+        cached = sum(1 for r in results if r.cached)
+        improved = sum(1 for r in results if r.improvement > 0)
+        improvement_pct = (
+            100.0 * (1.0 - tuned_cycles / greedy_cycles) if greedy_cycles else 0.0
+        )
+        rows.append(
+            (
+                name,
+                f"{len(results)}",
+                f"{cached}",
+                f"{improved}",
+                f"{greedy_cycles / 1e6:.3f}",
+                f"{tuned_cycles / 1e6:.3f}",
+                f"{improvement_pct:+.2f}%",
+                f"{wall_s:.1f}s",
+            )
+        )
+        record = ledger.record(
+            "tune",
+            name,
+            run_id=run_id,
+            seed=0,
+            wall_s=wall_s,
+            config_hash=config_hash(config),
+            workload_hash=config_hash({"model": name, **kwargs}),
+            workload={"model": name, **kwargs, "verify_top": args.verify_top},
+            metrics={
+                "shapes_total": len(results),
+                "shapes_tuned": len(results) - cached,
+                "shapes_cached": cached,
+                "shapes_improved": improved,
+                "greedy_cycles_total": greedy_cycles,
+                "tuned_cycles_total": tuned_cycles,
+                "improvement_pct": improvement_pct,
+            },
+        )
+        if ledger:
+            print(f"ledger: {record.run_id} [{name}] -> {ledger.path}")
+        if tuned_cycles > greedy_cycles:
+            exit_code = 1  # the never-worse contract was violated
+    print(
+        format_table(
+            [
+                "model", "shapes", "cached", "improved",
+                "greedy Mcyc", "tuned Mcyc", "delta", "wall",
+            ],
+            rows,
+        )
+    )
+    print(f"cache now holds {len(cache)} tuned schedules")
+    _export_obs(args, tracer, None, meta={"command": "tune", "run_id": run_id})
+    return exit_code
 
 
 def cmd_area(args) -> int:
@@ -472,6 +627,7 @@ def cmd_dse(args) -> int:
     )
     from repro.eval.runner import ExperimentRunner
 
+    _schedule_cache_from_args(args)  # exported to the evaluator pool via env
     if args.workload == "conv":
         workload = conv_workload()
     else:
@@ -594,6 +750,7 @@ def cmd_serve(args) -> int:
     record_mode = args.record_mode or (
         "stream" if args.horizon_hours is not None else "exact"
     )
+    schedule_cache = _schedule_cache_from_args(args)
 
     from repro.obs import new_run_id
     from repro.obs.metrics import NULL_METRICS, MetricStream
@@ -717,6 +874,7 @@ def cmd_serve(args) -> int:
     )
     if result.checkpoints:
         print(f"checkpoints: {result.checkpoints} written to {sim.checkpoint_path}")
+    _print_schedule_stats(schedule_cache)
     if args.export_json:
         print(f"wrote {export_serve_json(result, args.export_json)}")
     if args.export_csv:
@@ -739,6 +897,8 @@ def cmd_serve(args) -> int:
         "replayed": result.replayed,
         "peak_inflight": result.peak_inflight,
         "peak_pending": result.peak_pending,
+        "schedule_lookups": schedule_cache.stats.lookups,
+        "schedule_hits": schedule_cache.stats.hits,
     })
     ledger = _ledger_from_args(args)
     record = ledger.record(
@@ -1024,9 +1184,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump raw cProfile pstats data to this file (implies profiling)",
     )
+    _add_schedule_cache_arg(p_run)
     _add_obs_args(p_run)
     _add_ledger_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="auto-tune matmul schedules into the persistent schedule cache",
+    )
+    p_tune.add_argument(
+        "models",
+        nargs="+",
+        choices=tuple(model_names()) + ("all",),
+        help="zoo models whose dispatch shapes to tune ('all' for the whole zoo)",
+    )
+    _add_config_args(p_tune)
+    p_tune.add_argument("--input-hw", type=int, default=224, help="CNN input size")
+    p_tune.add_argument("--seq", type=int, default=128, help="BERT sequence length")
+    p_tune.add_argument(
+        "--verify-top",
+        type=int,
+        default=4,
+        help="cycle-accurately verify this many top analytic candidates "
+        "(the greedy plan is always verified too, so tuned is never worse)",
+    )
+    p_tune.add_argument(
+        "--force", action="store_true", help="re-tune shapes already in the cache"
+    )
+    _add_schedule_cache_arg(p_tune)
+    _add_obs_args(p_tune)
+    _add_ledger_args(p_tune)
+    p_tune.set_defaults(func=cmd_tune)
 
     p_area = sub.add_parser("area", help="area breakdown (Figure 6 style)")
     _add_config_args(p_area)
@@ -1139,6 +1328,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="batch scheduler: max hold time (wall-clock ms at each design's clock)",
     )
+    _add_schedule_cache_arg(p_dse)
     _add_obs_args(p_dse)
     _add_ledger_args(p_dse)
     p_dse.set_defaults(func=cmd_dse, parser=p_dse)
@@ -1241,6 +1431,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump raw cProfile pstats data to this file (implies profiling)",
     )
+    _add_schedule_cache_arg(p_serve)
     _add_obs_args(p_serve, live=True)
     _add_ledger_args(p_serve)
     p_serve.set_defaults(func=cmd_serve, parser=p_serve)
@@ -1273,7 +1464,9 @@ def build_parser() -> argparse.ArgumentParser:
         "show", nargs="?", default=None, metavar="RUN_ID",
         help="show one record (unique run-id prefix) as full JSON",
     )
-    p_history.add_argument("--kind", default=None, help="filter: run | serve | dse | bench | runner")
+    p_history.add_argument(
+        "--kind", default=None, help="filter: run | serve | dse | tune | bench | runner"
+    )
     p_history.add_argument("--name", default=None, help="filter by record name")
     p_history.add_argument("--limit", type=int, default=20, help="most recent N records")
     p_history.add_argument("--json", action="store_true", help="emit records as JSON")

@@ -103,6 +103,7 @@ class TraceSummary:
             "events": self.events,
             "span_count": self.span_count,
             "cache_hit_ratio": self.cache_hit_ratio(),
+            "schedule_hit_ratio": self.schedule_hit_ratio(),
             "spans": {
                 name: {
                     "count": s.count,
@@ -133,6 +134,16 @@ class TraceSummary:
         the trace recorded one."""
         hits = self.counters.get("cache_hits")
         misses = self.counters.get("cache_misses")
+        if hits is None and misses is None:
+            return None
+        total = (hits or 0.0) + (misses or 0.0)
+        return (hits or 0.0) / total if total else 0.0
+
+    def schedule_hit_ratio(self) -> float | None:
+        """hits / (hits + misses) of the schedule-cache dispatch counters
+        (``schedule_hits`` / ``schedule_misses``), if the trace has them."""
+        hits = self.counters.get("schedule_hits")
+        misses = self.counters.get("schedule_misses")
         if hits is None and misses is None:
             return None
         total = (hits or 0.0) + (misses or 0.0)
@@ -295,6 +306,14 @@ def format_trace_summary(summary: TraceSummary, top: int = 10) -> str:
         hits = int(summary.counters.get("cache_hits", 0))
         misses = int(summary.counters.get("cache_misses", 0))
         parts.append(f"runner cache: {hits} hits / {misses} misses ({ratio:.0%} hit ratio)")
+    sched_ratio = summary.schedule_hit_ratio()
+    if sched_ratio is not None:
+        hits = int(summary.counters.get("schedule_hits", 0))
+        misses = int(summary.counters.get("schedule_misses", 0))
+        parts.append(
+            f"schedule cache: {hits} hits / {misses} misses "
+            f"({sched_ratio:.0%} hit ratio)"
+        )
     if summary.instants:
         shown = ", ".join(
             f"{name} x{count}" for name, count in sorted(summary.instants.items())

@@ -8,9 +8,23 @@ Two entry levels, mirroring Gemmini's flow:
 * **Low level**: tuned kernels (:mod:`repro.sw.kernels`) over runtime
   tile-size heuristics (:mod:`repro.sw.tiling`), and raw RoCC intrinsics
   (:mod:`repro.sw.lowlevel`) for hand-written programs.
+
+Schedules come from the greedy planner by default, or — when a shape was
+auto-tuned (:mod:`repro.sw.tune`) — from the persistent cross-process
+schedule cache (:mod:`repro.sw.schedule_cache`).
 """
 
-from repro.sw.tiling import MatmulTiling, plan_matmul_tiling
+from repro.sw.tiling import MatmulTiling, fits_budgets, plan_matmul_tiling
+from repro.sw.schedule_cache import (
+    NULL_SCHEDULE_CACHE,
+    ScheduleCache,
+    ScheduleKey,
+    ScheduleRecord,
+    default_schedule_cache,
+    schedule_key,
+    set_default_schedule_cache,
+)
+from repro.sw.tune import ShapeTuneResult, tune_matmul, tune_model
 from repro.sw.lowlevel import GemminiProgramBuilder
 from repro.sw.graph import Graph, Node, TensorSpec
 from repro.sw.onnx_json import graph_from_json, graph_to_json
@@ -20,7 +34,18 @@ from repro.sw.profiler import RunProfiler
 
 __all__ = [
     "MatmulTiling",
+    "fits_budgets",
     "plan_matmul_tiling",
+    "NULL_SCHEDULE_CACHE",
+    "ScheduleCache",
+    "ScheduleKey",
+    "ScheduleRecord",
+    "default_schedule_cache",
+    "schedule_key",
+    "set_default_schedule_cache",
+    "ShapeTuneResult",
+    "tune_matmul",
+    "tune_model",
     "GemminiProgramBuilder",
     "Graph",
     "Node",

@@ -76,6 +76,31 @@ class CompiledModel:
     def accel_plans(self) -> list[LayerPlan]:
         return [p for p in self.plans if p.placement is Placement.ACCEL]
 
+    def matmul_shapes(self) -> list[tuple[int, int, int]]:
+        """Ordered unique (m, k, n) shapes the runtime's matmul dispatch
+        will plan for — explicit matmul layers plus convolutions in their
+        im2col lowering (``m=num_patches, k=patch_size, n=out_ch``).
+        Depthwise convolutions are excluded: their per-channel matmuls
+        bypass the tiling planner.  This is the shape list ``gemmini-repro
+        tune`` pre-warms the schedule cache with.
+        """
+        shapes: list[tuple[int, int, int]] = []
+        seen: set[tuple[int, int, int]] = set()
+        for plan in self.plans:
+            if plan.placement is not Placement.ACCEL:
+                continue
+            if plan.kind == "matmul":
+                shape = (plan.m, plan.k, plan.n)
+            elif plan.kind == "conv" and plan.conv is not None:
+                shape = (plan.conv.num_patches, plan.conv.patch_size, plan.conv.out_ch)
+            else:
+                continue
+            if shape in seen:
+                continue
+            seen.add(shape)
+            shapes.append(shape)
+        return shapes
+
     def cpu_plans(self) -> list[LayerPlan]:
         return [p for p in self.plans if p.placement is Placement.CPU]
 

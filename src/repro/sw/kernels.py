@@ -19,7 +19,13 @@ from repro.core.controller import Op
 from repro.core.generator import SoftwareParams
 from repro.core.peripherals import ConvParams, PoolParams
 from repro.core.spatial_array import SpatialArrayModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.soc.soc import SoCTile
+from repro.sw.schedule_cache import (
+    ScheduleCache,
+    default_schedule_cache,
+    schedule_key,
+)
 from repro.sw.tiling import MatmulTiling, plan_matmul_tiling
 
 
@@ -46,17 +52,55 @@ class TileKernels:
     #: bookkeeping and RoCC issue of the hardware-loop commands)
     issue_overhead: float = 8.0
 
-    def __init__(self, tile: SoCTile) -> None:
+    def __init__(
+        self,
+        tile: SoCTile,
+        tracer: Tracer | None = None,
+        schedule_cache: ScheduleCache | None = None,
+    ) -> None:
         self.tile = tile
         self.accel = tile.accel
         self.params = SoftwareParams.from_config(self.accel.config)
         self.model = SpatialArrayModel(self.accel.config)
         self.dim = self.accel.config.dim
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: tuned-schedule source for auto-planned matmuls; the ambient
+        #: (``REPRO_SCHEDULE_CACHE``-resolved) cache unless one is injected
+        self.schedule_cache = (
+            schedule_cache if schedule_cache is not None else default_schedule_cache()
+        )
         self._dataflow = (
             Dataflow.WS
             if self.accel.config.dataflow.supports(Dataflow.WS)
             else Dataflow.OS
         )
+
+    # ------------------------------------------------------------------ #
+    # Schedule dispatch                                                    #
+    # ------------------------------------------------------------------ #
+
+    def select_tiling(self, m: int, k: int, n: int) -> MatmulTiling:
+        """The schedule an auto-planned matmul of this shape will run.
+
+        Cache hit -> the tuned schedule (never worse than greedy: the tuner
+        always verifies the greedy plan as a candidate); miss or disabled
+        cache -> the greedy heuristic.  Hit/miss counts land in the cache's
+        stats and, when a tracer is attached, in ``schedule_hits`` /
+        ``schedule_misses`` counter series for ``trace`` summaries.
+        """
+        cache = self.schedule_cache
+        if not cache:
+            return plan_matmul_tiling(self.params, m, k, n)
+        tiling = cache.lookup(schedule_key(self.accel.config, m, k, n))
+        tracer = self.tracer
+        if tracer:
+            now = self.accel.controller.now
+            stats = cache.stats
+            tracer.counter(self.tile.name, "schedule_hits", now, float(stats.hits))
+            tracer.counter(self.tile.name, "schedule_misses", now, float(stats.misses))
+        if tiling is not None:
+            return tiling
+        return plan_matmul_tiling(self.params, m, k, n)
 
     # ------------------------------------------------------------------ #
     # DMA macro-op helpers                                                 #
@@ -144,7 +188,7 @@ class TileKernels:
         im2col unit uses it to stream raw convolution inputs instead of the
         k^2-amplified patch matrix.
         """
-        t = tiling or plan_matmul_tiling(self.params, m, k, n)
+        t = tiling or self.select_tiling(m, k, n)
         # When the on-the-fly im2col unit feeds the array (a_bytes_scale =
         # 1/k^2), the A-side DMA walks the *raw input tensor*, not the
         # virtual patch matrix: offsets, row bytes and stride all shrink by
@@ -154,80 +198,87 @@ class TileKernels:
         b_stride = n * elem_bytes
         c_stride = n * out_bytes
 
-        for i0 in range(t.outer_i):
-            for j0 in range(t.outer_j):
-                c_buf = ("C", label, (i0 * t.outer_j + j0) % 2)
-                if bias_vaddr is not None:
-                    # Bias row broadcast into the accumulator tile.
-                    m_cur, __, n_cur = t.clipped(i0, j0, 0)
-                    yield self._load_op(
-                        bias_vaddr + j0 * t.tile_n * 4,
-                        bytes_per_row=n_cur * 4,
-                        nrows=1,
-                        stride=n_cur * 4,
-                        writes=(c_buf,),
-                        reads=(("t", bias_vaddr),),
-                        label=f"{label}.bias",
-                    )
-                for k0 in range(t.outer_k):
-                    m_cur, k_cur, n_cur = t.clipped(i0, j0, k0)
-                    parity = (i0 * t.outer_k + k0) % 2
-                    a_buf = ("A", label, parity)
-                    b_buf = ("B", label, (j0 * t.outer_k + k0) % 2)
+        # Buffer parities ping-pong the scratchpad/accumulator halves; a
+        # single-buffered schedule collapses every parity to 0, which makes
+        # the scoreboard serialise the next load against the current exec.
+        nbuf = 2 if t.double_buffer else 1
+        if t.loop_order == "jik":
+            pairs = ((i0, j0) for j0 in range(t.outer_j) for i0 in range(t.outer_i))
+        else:
+            pairs = ((i0, j0) for i0 in range(t.outer_i) for j0 in range(t.outer_j))
 
-                    a_tile_vaddr = a_vaddr + int(
-                        (i0 * t.tile_m * k + k0 * t.tile_k) * elem_bytes * a_bytes_scale
-                    )
-                    a_row_bytes = max(1, int(k_cur * elem_bytes * a_bytes_scale))
-                    yield self._load_op(
-                        a_tile_vaddr,
-                        bytes_per_row=a_row_bytes,
-                        nrows=m_cur,
-                        stride=a_stride,
-                        writes=(a_buf,),
-                        reads=(("t", a_token),) if a_token is not None else (),
-                        label=f"{label}.ldA",
-                    )
-                    b_tile_vaddr = b_vaddr + (k0 * t.tile_k * n + j0 * t.tile_n) * elem_bytes
-                    yield self._load_op(
-                        b_tile_vaddr,
-                        bytes_per_row=n_cur * elem_bytes,
-                        nrows=k_cur,
-                        stride=b_stride,
-                        writes=(b_buf,),
-                        reads=(("t", b_token),) if b_token is not None else (),
-                        label=f"{label}.ldB",
-                    )
-                    cost = self.model.matmul_cost(m_cur, k_cur, n_cur, self._dataflow)
-                    yield self._exec_op(
-                        cost.total,
-                        reads=(a_buf, b_buf),
-                        writes=(c_buf,),
-                        label=f"{label}.ex",
-                    )
+        for pair_index, (i0, j0) in enumerate(pairs):
+            c_buf = ("C", label, pair_index % nbuf)
+            if bias_vaddr is not None:
+                # Bias row broadcast into the accumulator tile.
                 m_cur, __, n_cur = t.clipped(i0, j0, 0)
-                store_rows = max(1, int(m_cur * c_rows_scale))
-                c_tile_vaddr = c_vaddr + int(
-                    (i0 * t.tile_m * c_rows_scale) * n + j0 * t.tile_n
-                ) * out_bytes
-                if store_extra_cycles:
-                    # Fused pooling occupies the store pipeline before the
-                    # (shrunken) result leaves for DRAM.
-                    yield Op(
-                        unit="store",
-                        cycles=store_extra_cycles / max(1, t.outer_i * t.outer_j),
-                        reads=(c_buf,),
-                        label=f"{label}.pool",
-                    )
-                yield self._store_op(
-                    c_tile_vaddr,
-                    bytes_per_row=n_cur * out_bytes,
-                    nrows=store_rows,
-                    stride=c_stride,
-                    reads=(c_buf,),
-                    writes=(("t", c_token),) if c_token is not None else (),
-                    label=f"{label}.st",
+                yield self._load_op(
+                    bias_vaddr + j0 * t.tile_n * 4,
+                    bytes_per_row=n_cur * 4,
+                    nrows=1,
+                    stride=n_cur * 4,
+                    writes=(c_buf,),
+                    reads=(("t", bias_vaddr),),
+                    label=f"{label}.bias",
                 )
+            for k0 in range(t.outer_k):
+                m_cur, k_cur, n_cur = t.clipped(i0, j0, k0)
+                a_buf = ("A", label, (i0 * t.outer_k + k0) % nbuf)
+                b_buf = ("B", label, (j0 * t.outer_k + k0) % nbuf)
+
+                a_tile_vaddr = a_vaddr + int(
+                    (i0 * t.tile_m * k + k0 * t.tile_k) * elem_bytes * a_bytes_scale
+                )
+                a_row_bytes = max(1, int(k_cur * elem_bytes * a_bytes_scale))
+                yield self._load_op(
+                    a_tile_vaddr,
+                    bytes_per_row=a_row_bytes,
+                    nrows=m_cur,
+                    stride=a_stride,
+                    writes=(a_buf,),
+                    reads=(("t", a_token),) if a_token is not None else (),
+                    label=f"{label}.ldA",
+                )
+                b_tile_vaddr = b_vaddr + (k0 * t.tile_k * n + j0 * t.tile_n) * elem_bytes
+                yield self._load_op(
+                    b_tile_vaddr,
+                    bytes_per_row=n_cur * elem_bytes,
+                    nrows=k_cur,
+                    stride=b_stride,
+                    writes=(b_buf,),
+                    reads=(("t", b_token),) if b_token is not None else (),
+                    label=f"{label}.ldB",
+                )
+                cost = self.model.matmul_cost(m_cur, k_cur, n_cur, self._dataflow)
+                yield self._exec_op(
+                    cost.total,
+                    reads=(a_buf, b_buf),
+                    writes=(c_buf,),
+                    label=f"{label}.ex",
+                )
+            m_cur, __, n_cur = t.clipped(i0, j0, 0)
+            store_rows = max(1, int(m_cur * c_rows_scale))
+            c_tile_vaddr = c_vaddr + int(
+                (i0 * t.tile_m * c_rows_scale) * n + j0 * t.tile_n
+            ) * out_bytes
+            if store_extra_cycles:
+                # Fused pooling occupies the store pipeline before the
+                # (shrunken) result leaves for DRAM.
+                yield Op(
+                    unit="store",
+                    cycles=store_extra_cycles / max(1, t.outer_i * t.outer_j),
+                    reads=(c_buf,),
+                    label=f"{label}.pool",
+                )
+            yield self._store_op(
+                c_tile_vaddr,
+                bytes_per_row=n_cur * out_bytes,
+                nrows=store_rows,
+                stride=c_stride,
+                reads=(c_buf,),
+                writes=(("t", c_token),) if c_token is not None else (),
+                label=f"{label}.st",
+            )
 
     # ------------------------------------------------------------------ #
     # Convolution (im2col lowering)                                        #

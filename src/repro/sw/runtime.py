@@ -20,6 +20,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.soc.soc import SoCTile
 from repro.sw.compiler import CompiledModel, LayerPlan, Placement
 from repro.sw.kernels import TileKernels
+from repro.sw.schedule_cache import ScheduleCache
 
 
 @dataclass
@@ -103,13 +104,19 @@ class Runtime:
         sync_per_layer: bool = False,
         share_allocations_from: "Runtime | None" = None,
         tracer: Tracer | None = None,
+        schedule_cache: "ScheduleCache | None" = None,
     ) -> None:
         self.tile = tile
         self.model = model
         #: per-layer span sink (``run --trace-out``); the null singleton
         #: keeps the layer loop free of tracing branches
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.kernels = TileKernels(tile)
+        #: ``schedule_cache`` defaults inside TileKernels to the ambient
+        #: (``REPRO_SCHEDULE_CACHE``) cache, so serving/DSE/trace-recording
+        #: runtimes all start warm without plumbing at every call site
+        self.kernels = TileKernels(
+            tile, tracer=self.tracer, schedule_cache=schedule_cache
+        )
         if use_accel_im2col is None:
             use_accel_im2col = tile.accel.config.has_im2col
         if use_accel_im2col and not tile.accel.config.has_im2col:

@@ -12,8 +12,14 @@ Manual tile sizes may also be supplied, mirroring the low-level API.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.generator import SoftwareParams
+
+#: outer-loop orders a schedule may use.  k stays innermost in both so a C
+#: tile fully accumulates before its store; "jik" swaps which operand's
+#: tiles enjoy L2 temporal locality across consecutive iterations.
+LOOP_ORDERS = ("ijk", "jik")
 
 
 @dataclass(frozen=True)
@@ -22,6 +28,10 @@ class MatmulTiling:
 
     The inner tile computes ``(i_blocks*DIM) x (k_blocks*DIM) @
     (k_blocks*DIM) x (j_blocks*DIM)``; outer loops sweep the full matrices.
+    ``loop_order`` picks which of the (i, j) outer loops runs outermost;
+    ``double_buffer`` ping-pongs the scratchpad/accumulator halves so loads
+    of iteration *n+1* overlap compute of iteration *n* (False serialises
+    them but makes the full memories available to one iteration).
     """
 
     i_blocks: int
@@ -31,12 +41,18 @@ class MatmulTiling:
     m: int
     k: int
     n: int
+    loop_order: str = "ijk"
+    double_buffer: bool = True
 
     def __post_init__(self) -> None:
         if min(self.i_blocks, self.j_blocks, self.k_blocks) < 1:
             raise ValueError("tile block counts must be >= 1")
         if min(self.m, self.k, self.n) < 1:
             raise ValueError("matmul dimensions must be >= 1")
+        if self.loop_order not in LOOP_ORDERS:
+            raise ValueError(
+                f"loop_order must be one of {LOOP_ORDERS}, got {self.loop_order!r}"
+            )
 
     # -- tile extents in elements ---------------------------------------- #
 
@@ -88,7 +104,47 @@ class MatmulTiling:
         n = min(self.tile_n, self.n - j0 * self.tile_n)
         return m, k, n
 
+    # -- serialisation (the schedule cache's record payload) --------------- #
 
+    def to_dict(self) -> dict:
+        return {
+            "i_blocks": self.i_blocks,
+            "j_blocks": self.j_blocks,
+            "k_blocks": self.k_blocks,
+            "dim": self.dim,
+            "m": self.m,
+            "k": self.k,
+            "n": self.n,
+            "loop_order": self.loop_order,
+            "double_buffer": self.double_buffer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MatmulTiling":
+        return cls(
+            i_blocks=int(data["i_blocks"]),
+            j_blocks=int(data["j_blocks"]),
+            k_blocks=int(data["k_blocks"]),
+            dim=int(data["dim"]),
+            m=int(data["m"]),
+            k=int(data["k"]),
+            n=int(data["n"]),
+            loop_order=str(data.get("loop_order", "ijk")),
+            double_buffer=bool(data.get("double_buffer", True)),
+        )
+
+
+def fits_budgets(params: SoftwareParams, tiling: MatmulTiling) -> bool:
+    """Whether a tiling's footprint fits the memories under its own
+    buffering mode (half of each memory when double-buffered)."""
+    div = 2 if tiling.double_buffer else 1
+    return (
+        tiling.sp_rows_used() <= params.sp_rows // div
+        and tiling.acc_rows_used() <= params.acc_rows // div
+    )
+
+
+@lru_cache(maxsize=4096)
 def plan_matmul_tiling(
     params: SoftwareParams,
     m: int,
@@ -102,6 +158,10 @@ def plan_matmul_tiling(
     Grows (i, j, k) block counts round-robin — favouring the dimensions that
     increase arithmetic intensity — while the footprint fits the available
     fraction of scratchpad and accumulator.
+
+    Memoized per (params, m, k, n, double_buffer, max_blocks): the planner
+    is pure, ``SoftwareParams`` is frozen, and the same layer shapes recur
+    on every run, so within a process each plan is computed once.
     """
     if min(m, k, n) < 1:
         raise ValueError("matmul dimensions must be >= 1")
@@ -155,6 +215,7 @@ def plan_matmul_tiling(
         m=m,
         k=k,
         n=n,
+        double_buffer=double_buffer,
     )
 
 
@@ -172,7 +233,10 @@ def manual_tiling(
 
     Raises if the requested tiles do not fit the accelerator's memories.
     """
-    tiling = MatmulTiling(i_blocks, j_blocks, k_blocks, params.dim, m, k, n)
+    tiling = MatmulTiling(
+        i_blocks, j_blocks, k_blocks, params.dim, m, k, n,
+        double_buffer=double_buffer,
+    )
     sp_budget = params.sp_rows // (2 if double_buffer else 1)
     acc_budget = params.acc_rows // (2 if double_buffer else 1)
     if tiling.sp_rows_used() > sp_budget:

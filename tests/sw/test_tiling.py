@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 
 from repro.core.config import default_config, GemminiConfig
 from repro.core.generator import SoftwareParams
-from repro.sw.tiling import MatmulTiling, manual_tiling, plan_matmul_tiling
+from repro.sw.tiling import (
+    MatmulTiling,
+    fits_budgets,
+    manual_tiling,
+    plan_matmul_tiling,
+)
 
 
 PARAMS = SoftwareParams.from_config(default_config())
@@ -43,6 +48,39 @@ class TestMatmulTiling:
             MatmulTiling(0, 1, 1, 16, 10, 10, 10)
         with pytest.raises(ValueError):
             MatmulTiling(1, 1, 1, 16, 0, 10, 10)
+
+    def test_loop_order_validation(self):
+        with pytest.raises(ValueError, match="loop_order"):
+            MatmulTiling(1, 1, 1, 16, 10, 10, 10, loop_order="kji")
+
+    def test_dict_roundtrip(self):
+        t = MatmulTiling(2, 3, 4, 16, 64, 128, 96, loop_order="jik",
+                         double_buffer=False)
+        assert MatmulTiling.from_dict(t.to_dict()) == t
+
+    def test_from_dict_defaults_legacy_records(self):
+        """Records written before loop_order/double_buffer existed load as
+        the historical (ijk, double-buffered) schedule."""
+        data = {"i_blocks": 2, "j_blocks": 2, "k_blocks": 2, "dim": 16,
+                "m": 64, "k": 64, "n": 64}
+        t = MatmulTiling.from_dict(data)
+        assert t.loop_order == "ijk"
+        assert t.double_buffer is True
+
+    def test_fits_budgets_double_buffer_halves(self):
+        # 8+8 blocks of 16 rows = 256 sp rows: fits the full scratchpad
+        # of a tiny config but not half of it.
+        cfg = GemminiConfig(
+            sp_capacity_bytes=16 * 256,  # 256 rows of DIM int8 elements
+            sp_banks=1,
+            acc_capacity_bytes=64 * 64,  # 64 rows of DIM int32 elements
+            acc_banks=1,
+        )
+        params = SoftwareParams.from_config(cfg)
+        single = MatmulTiling(1, 1, 8, 16, 16, 512, 16, double_buffer=False)
+        double = MatmulTiling(1, 1, 8, 16, 16, 512, 16, double_buffer=True)
+        assert fits_budgets(params, single)
+        assert not fits_budgets(params, double)
 
 
 class TestPlanHeuristic:
@@ -126,3 +164,43 @@ class TestManualTiling:
         # i*j at 32 blocks.
         with pytest.raises(ValueError):
             manual_tiling(PARAMS, 2048, 64, 2048, 16, 16, 1)
+
+    def test_acc_overflow_message_names_budget(self):
+        with pytest.raises(ValueError, match="accumulator rows, budget is 512"):
+            manual_tiling(PARAMS, 2048, 64, 2048, 16, 16, 1)
+
+    def test_sp_overflow_message_names_budget(self):
+        with pytest.raises(
+            ValueError, match=r"scratchpad rows, budget is \d+"
+        ):
+            manual_tiling(PARAMS, 10000, 10000, 10000, 4, 4, 128)
+
+    def test_single_buffer_doubles_manual_budget(self):
+        """A tiling over half the accumulator is rejected double-buffered
+        but accepted (and marked) with double_buffer=False."""
+        with pytest.raises(ValueError, match="accumulator"):
+            manual_tiling(PARAMS, 2048, 64, 2048, 33, 1, 1)
+        t = manual_tiling(PARAMS, 2048, 64, 2048, 33, 1, 1, double_buffer=False)
+        assert t.double_buffer is False
+        assert fits_budgets(PARAMS, t)
+
+    def test_single_buffer_still_bounded(self):
+        with pytest.raises(ValueError, match="budget is 1024"):
+            manual_tiling(PARAMS, 2048, 64, 2048, 65, 1, 1, double_buffer=False)
+
+
+class TestPlannerMemoization:
+    def test_same_args_return_cached_object(self):
+        params = SoftwareParams.from_config(default_config())
+        before = plan_matmul_tiling.cache_info().hits
+        first = plan_matmul_tiling(params, 640, 640, 640)
+        again = plan_matmul_tiling(params, 640, 640, 640)
+        assert again is first  # lru_cache returned the same object
+        assert plan_matmul_tiling.cache_info().hits > before
+
+    def test_distinct_buffering_not_conflated(self):
+        params = SoftwareParams.from_config(default_config())
+        a = plan_matmul_tiling(params, 4096, 4096, 4096, double_buffer=True)
+        b = plan_matmul_tiling(params, 4096, 4096, 4096, double_buffer=False)
+        assert a is not b
+        assert b.sp_rows_used() >= a.sp_rows_used()

@@ -1,0 +1,153 @@
+"""Auto-tuner: search validity, the never-worse contract, determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generator import SoftwareParams
+from repro.soc.soc import make_soc
+from repro.sw.kernels import TileKernels
+from repro.sw.schedule_cache import NULL_SCHEDULE_CACHE, ScheduleCache
+from repro.sw.tiling import fits_budgets, plan_matmul_tiling
+from repro.sw.tune import (
+    enumerate_tilings,
+    estimate_cycles,
+    simulate_tiling_cycles,
+    tune_matmul,
+)
+
+
+# Module-level (not the function-scoped fixture): hypothesis resets
+# function fixtures between examples and flags their use in @given tests.
+from repro.core.config import GemminiConfig
+
+SMALL = GemminiConfig(
+    mesh_rows=4,
+    mesh_cols=4,
+    tile_rows=1,
+    tile_cols=1,
+    sp_capacity_bytes=4 * 4 * 256,
+    sp_banks=2,
+    acc_capacity_bytes=4 * 16 * 64,
+    acc_banks=2,
+)
+PARAMS = SoftwareParams.from_config(SMALL)
+
+
+dims = st.integers(min_value=1, max_value=48)
+
+
+class TestEnumeration:
+    @given(dims, dims, dims)
+    def test_all_candidates_fit_budgets_and_cover(self, m, k, n):
+        params = PARAMS
+        candidates = enumerate_tilings(params, m, k, n)
+        assert candidates, "search space must never be empty"
+        for t in candidates:
+            assert fits_budgets(params, t)
+            assert t.outer_i * t.tile_m >= m
+            assert t.outer_j * t.tile_n >= n
+            assert t.outer_k * t.tile_k >= k
+
+    @given(dims, dims, dims)
+    def test_greedy_plan_is_first_candidate(self, m, k, n):
+        params = PARAMS
+        candidates = enumerate_tilings(params, m, k, n)
+        assert candidates[0] == plan_matmul_tiling(params, m, k, n)
+
+    @given(dims, dims, dims)
+    def test_no_duplicate_candidates(self, m, k, n):
+        params = PARAMS
+        candidates = enumerate_tilings(params, m, k, n)
+        idents = [
+            (t.i_blocks, t.j_blocks, t.k_blocks, t.loop_order, t.double_buffer)
+            for t in candidates
+        ]
+        assert len(idents) == len(set(idents))
+
+    def test_jik_skipped_when_degenerate(self):
+        # A single output tile: every jik stream equals its ijk twin.
+        for t in enumerate_tilings(PARAMS, 4, 4, 4):
+            assert t.loop_order == "ijk"
+
+
+class TestScoring:
+    def test_estimate_is_deterministic(self):
+        params = PARAMS
+        t = plan_matmul_tiling(params, 32, 32, 32)
+        assert estimate_cycles(SMALL, t) == estimate_cycles(SMALL, t)
+
+    def test_single_buffer_scores_worse_overlap(self):
+        params = PARAMS
+        t = plan_matmul_tiling(params, 32, 32, 32)
+        single = t.__class__(**{**t.to_dict(), "double_buffer": False})
+        assert estimate_cycles(SMALL, single) >= estimate_cycles(
+            SMALL, t
+        )
+
+
+class TestNeverWorse:
+    @settings(max_examples=10)
+    @given(dims, dims, dims)
+    def test_tuned_never_costs_more_than_greedy(self, m, k, n):
+        result = tune_matmul(
+            SMALL, m, k, n, cache=NULL_SCHEDULE_CACHE, verify_top_k=2
+        )
+        assert result.tuned_cycles <= result.greedy_cycles
+        assert fits_budgets(PARAMS, result.best)
+
+    def test_verify_top_zero_degenerates_to_greedy(self):
+        result = tune_matmul(
+            SMALL, 24, 24, 24, cache=NULL_SCHEDULE_CACHE, verify_top_k=0
+        )
+        assert result.best == result.greedy
+        assert result.tuned_cycles == result.greedy_cycles
+
+
+class TestTuneCaching:
+    def test_second_tune_serves_from_cache(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "s.jsonl")
+        first = tune_matmul(SMALL, 20, 20, 20, cache=cache, verify_top_k=2)
+        second = tune_matmul(SMALL, 20, 20, 20, cache=cache, verify_top_k=2)
+        assert not first.cached
+        assert second.cached
+        assert second.best == first.best
+        assert second.tuned_cycles == first.tuned_cycles
+
+    def test_force_retunes(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "s.jsonl")
+        tune_matmul(SMALL, 20, 20, 20, cache=cache, verify_top_k=2)
+        again = tune_matmul(
+            SMALL, 20, 20, 20, cache=cache, verify_top_k=2, force=True
+        )
+        assert not again.cached
+
+
+class TestDeterminism:
+    def test_same_cache_state_same_schedule_and_cycles(self, tmp_path):
+        """Acceptance: with identical cache state, two independent dispatch+
+        simulate passes produce bitwise-identical schedules and cycles."""
+        path = tmp_path / "s.jsonl"
+        tune_matmul(SMALL, 40, 24, 40, cache=ScheduleCache(path),
+                    verify_top_k=3)
+
+        def run_once():
+            cache = ScheduleCache(path)  # fresh instance, fresh load
+            soc = make_soc(gemmini=SMALL)
+            kernels = TileKernels(soc.tile, schedule_cache=cache)
+            tiling = kernels.select_tiling(40, 24, 40)
+            vm = soc.tile.vm
+            result = kernels.run_matmul(
+                vm.alloc(40 * 24, "A"), vm.alloc(24 * 40, "B"),
+                vm.alloc(40 * 40, "C"), 40, 24, 40, tiling=tiling,
+            )
+            return tiling.to_dict(), result.cycles
+
+        first, second = run_once(), run_once()
+        assert first == second
+
+    def test_simulation_is_reproducible(self):
+        params = PARAMS
+        t = plan_matmul_tiling(params, 28, 28, 28)
+        assert simulate_tiling_cycles(SMALL, t) == simulate_tiling_cycles(
+            SMALL, t
+        )
